@@ -1,0 +1,283 @@
+// Package bench regenerates every table and figure of the paper as Go
+// benchmarks: one Benchmark per experiment. Each benchmark runs its
+// experiment on a representative five-benchmark subset at scale 1 (so a
+// full `go test -bench=. -benchtime=1x` stays tractable) and logs the
+// resulting table; key series values are also exported as benchmark
+// metrics. The full fifteen-benchmark tables are produced by
+// `go run ./cmd/dmpexp -scale 3 all`.
+//
+// Component micro-benchmarks (predictor, caches, emulator, machine) and
+// ablation benchmarks for the design choices called out in DESIGN.md
+// follow the figure benchmarks.
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"dmp/internal/bpred"
+	"dmp/internal/cache"
+	"dmp/internal/core"
+	"dmp/internal/emu"
+	"dmp/internal/exp"
+	"dmp/internal/profile"
+	"dmp/internal/workload"
+)
+
+// benchSubset is the representative subset used by the figure benchmarks:
+// three diverge-heavy, one hammock-dominated, one predictable.
+var benchSubset = []string{"mcf", "parser", "twolf", "vpr", "perlbmk"}
+
+func benchOpts() exp.Options {
+	return exp.Options{Scale: 1, Benchmarks: benchSubset, Check: false}
+}
+
+// runFigure runs one experiment generator b.N times, logging the table
+// once and reporting the last-row (mean) columns as metrics.
+func runFigure(b *testing.B, id string, metricCols map[string]int) {
+	gen := exp.All[id]
+	if gen == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = gen(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + t.String())
+	if len(t.Rows) == 0 {
+		return
+	}
+	last := t.Rows[len(t.Rows)-1]
+	for name, col := range metricCols {
+		if col < len(last) {
+			if v, err := strconv.ParseFloat(last[col], 64); err == nil {
+				b.ReportMetric(v, name)
+			}
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkTable2(b *testing.B)  { runFigure(b, "table2", nil) }
+func BenchmarkTable3(b *testing.B)  { runFigure(b, "table3", nil) }
+func BenchmarkFigure1(b *testing.B) { runFigure(b, "fig1", map[string]int{"wrong%": 3}) }
+func BenchmarkFigure6(b *testing.B) { runFigure(b, "fig6", nil) }
+
+func BenchmarkFigure7(b *testing.B) {
+	runFigure(b, "fig7", map[string]int{"dhp%": 1, "dmp-jrs%": 3, "dmp-perf%": 4, "perfect%": 5})
+}
+
+func BenchmarkFigure8(b *testing.B) { runFigure(b, "fig8", nil) }
+func BenchmarkFigure9(b *testing.B) {
+	runFigure(b, "fig9", map[string]int{"basic%": 1, "enhanced%": 4})
+}
+func BenchmarkFigure10(b *testing.B) { runFigure(b, "fig10", nil) }
+func BenchmarkFigure11(b *testing.B) { runFigure(b, "fig11", map[string]int{"flushred%": 3}) }
+func BenchmarkFigure12(b *testing.B) { runFigure(b, "fig12", nil) }
+func BenchmarkFigure13a(b *testing.B) {
+	runFigure(b, "fig13a", map[string]int{"dmp-gain%": 4})
+}
+func BenchmarkFigure13b(b *testing.B) {
+	runFigure(b, "fig13b", map[string]int{"dmp-gain%": 4})
+}
+func BenchmarkDualPath(b *testing.B) {
+	runFigure(b, "dualpath", map[string]int{"dual%": 1, "dhp%": 2, "dmp%": 3})
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// runDMPWith runs parser under enhanced DMP after a profiling pass with
+// custom options, reporting the IPC gain over the baseline.
+func runDMPWith(b *testing.B, popts profile.Options, tweak func(*core.Config)) {
+	w, err := workload.ByName("parser")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		train := w.Build(workload.BuildConfig{Seed: workload.TrainSeed, Scale: 1})
+		if _, err := profile.Run(train, popts); err != nil {
+			b.Fatal(err)
+		}
+		ref := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: 1})
+		for pc, d := range train.Diverge {
+			ref.MarkDiverge(pc, d)
+		}
+		bc := core.DefaultConfig()
+		bc.CheckRetirement = false
+		mb, _ := core.New(ref, bc)
+		sb, err := mb.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		dc := core.EnhancedDMPConfig()
+		dc.CheckRetirement = false
+		if tweak != nil {
+			tweak(&dc)
+		}
+		md, _ := core.New(ref, dc)
+		sd, err := md.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = 100 * (sd.IPC()/sb.IPC() - 1)
+	}
+	b.ReportMetric(gain, "gain%")
+}
+
+// BenchmarkAblationFrequentPathCFM is the paper's CFM selection
+// (frequently executed paths).
+func BenchmarkAblationFrequentPathCFM(b *testing.B) {
+	runDMPWith(b, profile.DefaultOptions(), nil)
+}
+
+// BenchmarkAblationPostDomCFM replaces the CFM heuristic with the
+// immediate post-dominator — the conventional reconvergence point DMP
+// argues against.
+func BenchmarkAblationPostDomCFM(b *testing.B) {
+	o := profile.DefaultOptions()
+	o.UsePostDom = true
+	runDMPWith(b, o, nil)
+}
+
+// BenchmarkAblationStaticThreshold replaces compiler-selected early-exit
+// thresholds with a single static value (Section 2.7.2 finds
+// compiler-selected slightly better).
+func BenchmarkAblationStaticThreshold(b *testing.B) {
+	runDMPWith(b, profile.DefaultOptions(), func(c *core.Config) {
+		c.EarlyExitDefault = 24
+	})
+}
+
+// BenchmarkAblationSelectPorts1 limits select-uop insertion to one per
+// cycle (RAT port pressure).
+func BenchmarkAblationSelectPorts1(b *testing.B) {
+	runDMPWith(b, profile.DefaultOptions(), func(c *core.Config) {
+		c.SelectUopsPerCycle = 1
+	})
+}
+
+// BenchmarkAblationSelectiveBPUpdate enables the Section 2.7.4
+// predictor-update policy (no training on predicated branches).
+func BenchmarkAblationSelectiveBPUpdate(b *testing.B) {
+	runDMPWith(b, profile.DefaultOptions(), func(c *core.Config) {
+		c.SelectiveBPUpdate = true
+	})
+}
+
+// BenchmarkAblationLoopDiverge enables diverge loop branches (Section
+// 2.7.4 future work) with a profile pass that marks them.
+func BenchmarkAblationLoopDiverge(b *testing.B) {
+	o := profile.DefaultOptions()
+	o.IncludeLoops = true
+	runDMPWith(b, o, func(c *core.Config) {
+		c.EnableLoopDiverge = true
+	})
+}
+
+// --- component micro-benchmarks ---
+
+func BenchmarkPerceptronPredict(b *testing.B) {
+	p := bpred.NewPerceptron(bpred.DefaultPerceptronConfig())
+	var h bpred.GHR
+	for i := 0; i < b.N; i++ {
+		taken := p.Predict(uint64(i)&1023, h)
+		p.Update(uint64(i)&1023, h, i&3 == 0)
+		h = h.Push(taken)
+	}
+}
+
+func BenchmarkHybridPredict(b *testing.B) {
+	p := bpred.NewHybrid(14, 12)
+	var h bpred.GHR
+	for i := 0; i < b.N; i++ {
+		taken := p.Predict(uint64(i)&1023, h)
+		p.Update(uint64(i)&1023, h, i&3 == 0)
+		h = h.Push(taken)
+	}
+}
+
+func BenchmarkCacheHierarchy(b *testing.B) {
+	h := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	for i := 0; i < b.N; i++ {
+		h.DataLatency(uint64(i*64) & 0xFFFFF)
+	}
+}
+
+func BenchmarkEmulator(b *testing.B) {
+	w, _ := workload.ByName("bzip2")
+	p := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: 1})
+	b.ResetTimer()
+	ran := uint64(0)
+	for i := 0; i < b.N; i++ {
+		e := emu.New(p)
+		n, err := e.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ran += n
+	}
+	b.ReportMetric(float64(ran)/float64(b.N), "insts/run")
+}
+
+// BenchmarkMachineBaseline measures raw simulator speed (simulated
+// instructions per wall second appear as the insts/run metric over ns/op).
+func BenchmarkMachineBaseline(b *testing.B) {
+	w, _ := workload.ByName("twolf")
+	p := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.CheckRetirement = false
+		m, err := core.New(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMachineEnhancedDMP(b *testing.B) {
+	p, err := exp.Annotated("twolf", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.EnhancedDMPConfig()
+		cfg.CheckRetirement = false
+		m, err := core.New(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProfilePass(b *testing.B) {
+	w, _ := workload.ByName("parser")
+	for i := 0; i < b.N; i++ {
+		p := w.Build(workload.BuildConfig{Seed: workload.TrainSeed, Scale: 1})
+		if _, err := profile.Run(p, profile.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAlternateGHR uses the paper's footnote-7 design choice
+// (keep the alternate path's global history at exit) instead of this
+// implementation's default (restore the predicted path's history).
+func BenchmarkAblationAlternateGHR(b *testing.B) {
+	runDMPWith(b, profile.DefaultOptions(), func(c *core.Config) {
+		c.KeepAlternateGHR = true
+	})
+}

@@ -1,0 +1,63 @@
+// Command dmpexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dmpexp -scale 3 all          # every experiment, in paper order
+//	dmpexp fig7 fig9             # specific experiments
+//	dmpexp -bench mcf,twolf fig8 # restrict the suite
+//
+// Experiment ids: table2 table3 fig1 fig6 fig7 fig8 fig9 fig10 fig11
+// fig12 fig13a fig13b dualpath.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dmp/internal/exp"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 3, "workload scale factor")
+		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
+		nocheck = flag.Bool("nocheck", false, "disable the golden-model checker (faster)")
+		par     = flag.Int("parallel", 0, "worker goroutines (default NumCPU)")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	opts.Scale = *scale
+	opts.Check = !*nocheck
+	opts.Parallel = *par
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "dmpexp: specify experiment ids or 'all'; known:", strings.Join(exp.IDs(), " "))
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		gen := exp.All[id]
+		if gen == nil {
+			fmt.Fprintf(os.Stderr, "dmpexp: unknown experiment %q (known: %s)\n", id, strings.Join(exp.IDs(), " "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		t, err := gen(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmpexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(t.String())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,148 @@
+// Command dmpsim runs one benchmark (or an assembly file) on one machine
+// configuration and prints the run statistics.
+//
+// Usage:
+//
+//	dmpsim -bench mcf -mode dmp -scale 3
+//	dmpsim -asm prog.s -mode baseline
+//	dmpsim -bench parser -mode dmp -conf perfect -mcfm -eexit -mdb
+//
+// Modes: baseline, perfect, dmp, dhp, dualpath, enhanced (= dmp with all
+// Section 2.7 enhancements).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmp/internal/core"
+	"dmp/internal/exp"
+	"dmp/internal/profile"
+	"dmp/internal/prog"
+	"dmp/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark name (see -list)")
+		asm      = flag.String("asm", "", "assembly file to run instead of a benchmark")
+		mode     = flag.String("mode", "baseline", "baseline|perfect|dmp|dhp|dualpath|enhanced")
+		conf     = flag.String("conf", "jrs", "confidence estimator: jrs|perfect|always-low|never-low")
+		predName = flag.String("pred", "perceptron", "predictor: perceptron|gshare|bimodal|hybrid")
+		scale    = flag.Int("scale", 3, "workload scale factor")
+		rob      = flag.Int("rob", 512, "reorder buffer entries")
+		depth    = flag.Int("depth", 30, "pipeline depth")
+		maxInsts = flag.Uint64("max-insts", 0, "stop after N retired instructions (0 = run to halt)")
+		mcfm     = flag.Bool("mcfm", false, "enable multiple CFM points (2.7.1)")
+		eexit    = flag.Bool("eexit", false, "enable early exit (2.7.2)")
+		mdb      = flag.Bool("mdb", false, "enable multiple diverge branches (2.7.3)")
+		loops    = flag.Bool("loops", false, "enable diverge loop branches (2.7.4)")
+		nocheck  = flag.Bool("nocheck", false, "disable the golden-model retirement checker")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-8s %s\n", w.Name, w.Desc)
+		}
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	switch *mode {
+	case "baseline":
+	case "perfect":
+		cfg.Mode = core.ModePerfect
+	case "dmp":
+		cfg.Mode = core.ModeDMP
+	case "dhp":
+		cfg.Mode = core.ModeDHP
+	case "dualpath":
+		cfg.Mode = core.ModeDualPath
+	case "enhanced":
+		cfg = core.EnhancedDMPConfig()
+	default:
+		fatal("unknown -mode %q", *mode)
+	}
+	cfg.ConfidenceName = *conf
+	cfg.PredictorName = *predName
+	cfg.ROBSize = *rob
+	cfg.PipelineDepth = *depth
+	cfg.MaxInsts = *maxInsts
+	cfg.CheckRetirement = !*nocheck
+	if *mcfm {
+		cfg.MultipleCFM = true
+	}
+	if *eexit {
+		cfg.EarlyExit = true
+	}
+	if *mdb {
+		cfg.MultipleDiverge = true
+	}
+	if *loops {
+		cfg.EnableLoopDiverge = true
+	}
+
+	var p *prog.Program
+	switch {
+	case *asm != "":
+		src, err := os.ReadFile(*asm)
+		if err != nil {
+			fatal("%v", err)
+		}
+		p, err = prog.Assemble(string(src))
+		if err != nil {
+			fatal("%v", err)
+		}
+		if cfg.Mode == core.ModeDMP || cfg.Mode == core.ModeDHP {
+			if _, err := profile.Run(p, profile.DefaultOptions()); err != nil {
+				fatal("profile: %v", err)
+			}
+		}
+	case *bench != "":
+		var err error
+		p, err = exp.Annotated(*bench, *scale)
+		if err != nil {
+			fatal("%v", err)
+		}
+	default:
+		fatal("need -bench or -asm (try -list)")
+	}
+
+	m, err := core.New(p, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		fatal("%v\npartial stats: %v", err, st)
+	}
+	printStats(st)
+}
+
+func printStats(s *core.Stats) {
+	fmt.Printf("cycles            %12d\n", s.Cycles)
+	fmt.Printf("retired insts     %12d  (IPC %.3f)\n", s.RetiredInsts, s.IPC())
+	fmt.Printf("branches          %12d  (%.2f%% mispredicted, %.2f MPKI)\n",
+		s.RetiredBranches, 100*s.MispredictRate(), s.MPKI())
+	fmt.Printf("pipeline flushes  %12d\n", s.Flushes)
+	fmt.Printf("fetched insts     %12d  (%.1f%% wrong-path: %d ctrl-dep + %d ctrl-indep)\n",
+		s.FetchedInsts, 100*s.WrongPathFrac(), s.FetchedWrongCD, s.FetchedWrongCI)
+	fmt.Printf("executed          %12d  (+%d select-uops, +%d marker uops)\n",
+		s.ExecutedInsts, s.ExecutedSelects, s.ExecutedMarkers)
+	fmt.Printf("retired FALSE     %12d\n", s.RetiredFalse)
+	if s.Episodes > 0 {
+		fmt.Printf("dpred episodes    %12d  exits: c1=%d c2=%d c3=%d c4=%d c5=%d c6=%d squashed=%d\n",
+			s.Episodes, s.ExitCases[1], s.ExitCases[2], s.ExitCases[3],
+			s.ExitCases[4], s.ExitCases[5], s.ExitCases[6], s.ExitCases[0])
+		fmt.Printf("conversions       %12d early-exit, %d multiple-diverge\n", s.EarlyExits, s.MDBConversions)
+	}
+	fmt.Printf("halted            %12v\n", s.HaltRetired)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dmpsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command dmptrace records branch traces from the workloads and replays
+// them through the direction predictors and confidence estimators —
+// trace-driven methodology for studying the structures that feed the
+// diverge-merge processor without running the timing simulator.
+//
+// Usage:
+//
+//	dmptrace -bench twolf -record twolf.btr        # record a trace
+//	dmptrace -replay twolf.btr                     # evaluate all predictors
+//	dmptrace -bench twolf                          # record + evaluate in memory
+//	dmptrace -all                                  # predictor table, all benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmp/internal/bpred"
+	"dmp/internal/conf"
+	"dmp/internal/trace"
+	"dmp/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "benchmark to trace")
+		scale  = flag.Int("scale", 3, "workload scale")
+		record = flag.String("record", "", "write the trace to this file")
+		replay = flag.String("replay", "", "evaluate predictors on a recorded trace file")
+		all    = flag.Bool("all", false, "evaluate every predictor on every benchmark")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		evalAll(*scale)
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		evalOne(*replay, tr)
+	case *bench != "":
+		tr := collect(*bench, *scale)
+		if *record != "" {
+			f, err := os.Create(*record)
+			if err != nil {
+				fatal("%v", err)
+			}
+			if err := tr.Write(f); err != nil {
+				fatal("%v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("wrote %d branch records (%d insts) to %s\n", len(tr.Records), tr.Insts, *record)
+			return
+		}
+		evalOne(*bench, tr)
+	default:
+		fatal("need -bench, -replay or -all")
+	}
+}
+
+func collect(bench string, scale int) *trace.Trace {
+	w, err := workload.ByName(bench)
+	if err != nil {
+		fatal("%v", err)
+	}
+	p := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: scale})
+	tr, err := trace.Collect(p, 0)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return tr
+}
+
+func predictors() map[string]func() bpred.DirPredictor {
+	return map[string]func() bpred.DirPredictor{
+		"perceptron": func() bpred.DirPredictor { return bpred.NewPerceptron(bpred.DefaultPerceptronConfig()) },
+		"gshare":     func() bpred.DirPredictor { return bpred.NewGShare(16, 14) },
+		"bimodal":    func() bpred.DirPredictor { return bpred.NewBimodal(16) },
+		"hybrid":     func() bpred.DirPredictor { return bpred.NewHybrid(14, 12) },
+	}
+}
+
+func evalOne(name string, tr *trace.Trace) {
+	fmt.Printf("%s: %d branches over %d instructions\n", name, len(tr.Records), tr.Insts)
+	fmt.Printf("%-11s %10s %9s %7s\n", "predictor", "mispredict", "accuracy", "mpki")
+	for _, pn := range []string{"perceptron", "gshare", "bimodal", "hybrid"} {
+		r := trace.Evaluate(tr, predictors()[pn]())
+		fmt.Printf("%-11s %10d %8.2f%% %7.2f\n", r.Predictor, r.Mispredicts, 100*r.Accuracy(), r.MPKI)
+	}
+	cr := trace.EvaluateConfidence(tr,
+		bpred.NewPerceptron(bpred.DefaultPerceptronConfig()),
+		conf.NewJRS(conf.DefaultJRSConfig()))
+	fmt.Printf("JRS confidence: coverage %.1f%% of mispredictions, %.1f%% of low flags were real\n",
+		100*cr.Coverage(), 100*cr.PVN())
+}
+
+func evalAll(scale int) {
+	fmt.Printf("%-9s %9s | %-10s %-10s %-10s %-10s\n",
+		"bench", "branches", "perceptron", "gshare", "bimodal", "hybrid")
+	for _, w := range workload.All() {
+		p := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: scale})
+		tr, err := trace.Collect(p, 0)
+		if err != nil {
+			fatal("%s: %v", w.Name, err)
+		}
+		fmt.Printf("%-9s %9d |", w.Name, len(tr.Records))
+		for _, pn := range []string{"perceptron", "gshare", "bimodal", "hybrid"} {
+			r := trace.Evaluate(tr, predictors()[pn]())
+			fmt.Printf(" %9.2f%%", 100*r.Accuracy())
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dmptrace: "+format+"\n", args...)
+	os.Exit(1)
+}

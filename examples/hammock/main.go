@@ -1,0 +1,107 @@
+// Hammock: reproduce the paper's Figure 3 control-flow graph — a complex
+// diverge branch whose taken side contains further control flow and whose
+// paths *usually* (not always) reconverge at block H — and show why DMP
+// predicates it while Dynamic Hammock Predication cannot.
+//
+//	go run ./examples/hammock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmp/internal/core"
+	"dmp/internal/profile"
+	"dmp/internal/prog"
+)
+
+// The source of Figure 3(a), in simulator assembly:
+//
+//	if (cond1) { if (cond2) {...} }        // blocks C, G
+//	else { if (cond3||cond4) {...E...} F } // blocks B, D, E, F
+//	// block H (CFM)
+//
+// with a rarely taken early-return edge making H *not* the post-dominator.
+const fig3 = `
+.entry start
+start:
+    li   r1, 0x9E3779B97F4A7C15     ; rng
+    li   r2, 25000                  ; iterations
+loop:
+    muli r1, r1, 6364136223846793005
+    addi r1, r1, 1442695040888963407
+    shri r3, r1, 33                 ; cond1 (unpredictable)
+    andi r3, r3, 1
+    shri r4, r1, 17                 ; cond2/3/4 material
+    andi r4, r4, 7
+    br.ne r3, zero, blockC          ; block A: the diverge branch
+blockB:
+    addi r10, r10, 1                ; block B
+    slti r5, r4, 6                  ; cond3||cond4: ~75%
+    br.ne r5, zero, blockE
+blockD:
+    addi r11, r11, 2                ; block D (rare side)
+    shri r6, r1, 50
+    andi r6, r6, 31
+    br.eq r6, zero, bail            ; cond5: rare non-merging exit path
+    jmp  blockF
+blockE:
+    addi r11, r11, 3                ; block E
+blockF:
+    xori r10, r10, 5                ; block F
+    jmp  blockH
+blockC:
+    addi r12, r12, 1                ; block C
+    andi r5, r4, 1                  ; cond2
+    br.ne r5, zero, blockG
+    jmp  blockH
+blockG:
+    addi r12, r12, 4                ; block G
+blockH:
+    addi r13, r13, 1                ; block H: the CFM point
+    add  r14, r10, r12
+bail:
+    subi r2, r2, 1
+    br.gt r2, zero, loop
+    st   r14, 0x800(zero)
+    halt
+`
+
+func main() {
+	p, err := prog.Assemble(fig3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := profile.Run(p, profile.DefaultOptions()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("marked diverge branches:")
+	for _, pc := range p.DivergePCs() {
+		d := p.DivergeAt(pc)
+		fmt.Printf("  pc %2d  class %-16s  CFMs %v\n", pc, d.Class, d.CFMs)
+	}
+	fmt.Printf("  (block H starts at pc %d)\n\n", p.PC("blockH"))
+
+	run := func(name string, cfg core.Config) *core.Stats {
+		m, err := core.New(p, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s IPC %.3f  flushes %6d  episodes %5d  (c2 wins: %d)\n",
+			name, st.IPC(), st.Flushes, st.Episodes, st.ExitCases[core.Exit2])
+		return st
+	}
+	base := run("baseline", core.DefaultConfig())
+	dhp := run("DHP", core.DHPConfig())
+	dmp := run("enhanced-DMP", core.EnhancedDMPConfig())
+
+	fmt.Printf("\nblock A is a *complex* diverge branch (control flow inside the hammock),\n")
+	fmt.Printf("so DHP predicates %d episodes while DMP predicates %d.\n", dhp.Episodes, dmp.Episodes)
+	fmt.Printf("IPC: baseline %.3f, DHP %+.1f%%, DMP %+.1f%%\n",
+		base.IPC(), 100*(dhp.IPC()/base.IPC()-1), 100*(dmp.IPC()/base.IPC()-1))
+}

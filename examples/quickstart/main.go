@@ -1,0 +1,75 @@
+// Quickstart: build a tiny program with an unpredictable hammock, let the
+// profiling pass find the diverge branch and its control-flow merge
+// point, then run it on the baseline and on the diverge-merge processor
+// and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmp/internal/core"
+	"dmp/internal/isa"
+	"dmp/internal/profile"
+	"dmp/internal/prog"
+)
+
+func main() {
+	// A loop whose body contains a 50/50 data-dependent if-else hammock
+	// followed by control-independent work — the exact shape Figure 3 of
+	// the paper motivates.
+	b := prog.NewBuilder()
+	b.Li(1, 0x2545F4914F6CDD1D) // rng state
+	b.Li(2, 30_000)             // iterations
+	b.Label("loop")
+	b.Muli(1, 1, 6364136223846793005)
+	b.Addi(1, 1, 1442695040888963407)
+	b.Shri(3, 1, 33)
+	b.Andi(3, 3, 1)
+	b.Br(isa.NE, 3, isa.Zero, "then") // the hard-to-predict branch
+	b.Addi(4, 4, 3)                   // else side
+	b.Jmp("join")
+	b.Label("then")
+	b.Addi(4, 4, 5) // then side
+	b.Label("join") // control-flow merge point
+	b.Addi(5, 5, 1) // control-independent tail
+	b.Subi(2, 2, 1)
+	b.Br(isa.GT, 2, isa.Zero, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	// Compiler side: profile to mark diverge branches and CFM points.
+	rep, err := profile.Run(p, profile.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("profiling result:")
+	fmt.Print(rep.String())
+	for _, pc := range p.DivergePCs() {
+		d := p.DivergeAt(pc)
+		fmt.Printf("diverge branch at pc %d (%s), CFM %v, early-exit threshold %d\n",
+			pc, d.Class, d.CFMs, d.ExitThreshold)
+	}
+
+	// Microarchitecture side: baseline vs. enhanced DMP.
+	run := func(name string, cfg core.Config) *core.Stats {
+		m, err := core.New(p, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s IPC %.3f  flushes %6d  mispredicts %6d  episodes %5d\n",
+			name, st.IPC(), st.Flushes, st.RetiredMispredicts, st.Episodes)
+		return st
+	}
+	base := run("baseline", core.DefaultConfig())
+	dmp := run("enhanced-DMP", core.EnhancedDMPConfig())
+	fmt.Printf("\nDMP speedup: %+.1f%% IPC, %.0f%% fewer flushes\n",
+		100*(dmp.IPC()/base.IPC()-1),
+		100*(1-float64(dmp.Flushes)/float64(base.Flushes)))
+}

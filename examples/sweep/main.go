@@ -1,0 +1,37 @@
+// Sweep: regenerate the paper's sensitivity study (Figure 13) on a chosen
+// benchmark — IPC of baseline, DHP and enhanced DMP across window sizes
+// and pipeline depths — using the public experiment harness.
+//
+//	go run ./examples/sweep [-bench twolf] [-scale 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dmp/internal/exp"
+)
+
+func main() {
+	bench := flag.String("bench", "twolf", "benchmark to sweep")
+	scale := flag.Int("scale", 2, "workload scale")
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	opts.Scale = *scale
+	opts.Benchmarks = []string{*bench}
+
+	a, err := exp.Figure13a(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(a.String())
+	fmt.Println()
+
+	b, err := exp.Figure13b(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(b.String())
+}

@@ -1,0 +1,3 @@
+module dmp
+
+go 1.22

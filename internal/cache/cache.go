@@ -1,0 +1,156 @@
+// Package cache models the on-chip memory hierarchy of Table 2: a 64KB
+// 2-way L1 instruction cache (2-cycle), a 64KB 4-way L1 data cache
+// (2-cycle), a unified 1MB 8-way L2 (10-cycle), all with 64B lines and
+// LRU replacement, in front of a 300-cycle main memory.
+//
+// The model is a latency model: an access returns the number of cycles
+// until the data is available and updates tag state immediately (no
+// MSHRs or bandwidth contention — the paper's evaluation is about
+// branch-misprediction behaviour, and these simplifications apply
+// equally to every configuration compared). Timing-only: caches hold no
+// data; values always come from the architectural memory image or the
+// store buffer.
+package cache
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+	Latency   int // hit latency in cycles
+}
+
+// Cache is one set-associative, LRU, timing-only cache level.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	lineSh  uint
+	setSh   uint
+	clock   uint64
+
+	Hits, Misses uint64
+}
+
+type line struct {
+	valid bool
+	tag   uint64
+	lru   uint64
+}
+
+// New builds a cache level. Geometry must be power-of-two sets.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Assoc <= 0 || cfg.LineBytes <= 0 {
+		panic("cache: bad geometry")
+	}
+	nlines := cfg.SizeBytes / cfg.LineBytes
+	nsets := nlines / cfg.Assoc
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic("cache: sets must be a power of two")
+	}
+	sh := uint(0)
+	for 1<<sh != cfg.LineBytes {
+		sh++
+		if sh > 20 {
+			panic("cache: line size must be a power of two")
+		}
+	}
+	setSh := uint(0)
+	for 1<<setSh != nsets {
+		setSh++
+	}
+	c := &Cache{cfg: cfg, sets: make([][]line, nsets), setMask: uint64(nsets - 1), lineSh: sh, setSh: setSh}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c
+}
+
+// Access looks up addr, fills on miss, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	lineAddr := addr >> c.lineSh
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> c.setSh
+	c.clock++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = line{valid: true, tag: tag, lru: c.clock}
+	return false
+}
+
+// Latency returns the hit latency.
+func (c *Cache) Latency() int { return c.cfg.Latency }
+
+// Hierarchy bundles L1I, L1D, L2 and memory into the lookup functions the
+// core uses.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	MemLatency   int
+}
+
+// HierarchyConfig parameterises NewHierarchy.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	MemLatency   int
+}
+
+// DefaultHierarchyConfig is Table 2's memory system.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{SizeBytes: 64 << 10, Assoc: 2, LineBytes: 64, Latency: 2},
+		L1D:        Config{SizeBytes: 64 << 10, Assoc: 4, LineBytes: 64, Latency: 2},
+		L2:         Config{SizeBytes: 1 << 20, Assoc: 8, LineBytes: 64, Latency: 10},
+		MemLatency: 300,
+	}
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1I:        New(cfg.L1I),
+		L1D:        New(cfg.L1D),
+		L2:         New(cfg.L2),
+		MemLatency: cfg.MemLatency,
+	}
+}
+
+// InstLatency returns the cycles to fetch the instruction word at byte
+// address addr.
+func (h *Hierarchy) InstLatency(addr uint64) int {
+	if h.L1I.Access(addr) {
+		return h.L1I.Latency()
+	}
+	if h.L2.Access(addr) {
+		return h.L1I.Latency() + h.L2.Latency()
+	}
+	return h.L1I.Latency() + h.L2.Latency() + h.MemLatency
+}
+
+// DataLatency returns the cycles for a data access at byte address addr.
+// Stores also call this at retirement so lines are allocated, but store
+// latency is hidden by the store buffer.
+func (h *Hierarchy) DataLatency(addr uint64) int {
+	if h.L1D.Access(addr) {
+		return h.L1D.Latency()
+	}
+	if h.L2.Access(addr) {
+		return h.L1D.Latency() + h.L2.Latency()
+	}
+	return h.L1D.Latency() + h.L2.Latency() + h.MemLatency
+}

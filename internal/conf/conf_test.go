@@ -1,0 +1,121 @@
+package conf
+
+import (
+	"testing"
+
+	"dmp/internal/bpred"
+)
+
+func TestJRSStartsLowConfidence(t *testing.T) {
+	j := NewJRS(DefaultJRSConfig())
+	if !j.LowConfidence(100, 0) {
+		t.Error("fresh JRS should be low confidence")
+	}
+}
+
+func TestJRSGainsConfidence(t *testing.T) {
+	j := NewJRS(DefaultJRSConfig())
+	for i := 0; i < 15; i++ {
+		j.Update(100, 0, true)
+	}
+	if j.LowConfidence(100, 0) {
+		t.Error("15 correct predictions should reach high confidence")
+	}
+}
+
+func TestJRSResetsOnMiss(t *testing.T) {
+	j := NewJRS(DefaultJRSConfig())
+	for i := 0; i < 20; i++ {
+		j.Update(100, 0, true)
+	}
+	j.Update(100, 0, false)
+	if !j.LowConfidence(100, 0) {
+		t.Error("misprediction must reset confidence")
+	}
+}
+
+func TestJRSSaturates(t *testing.T) {
+	cfg := DefaultJRSConfig()
+	j := NewJRS(cfg)
+	for i := 0; i < 1000; i++ {
+		j.Update(100, 0, true)
+	}
+	if j.table[j.index(100, 0)] != cfg.Max {
+		t.Errorf("counter = %d, want saturated %d", j.table[j.index(100, 0)], cfg.Max)
+	}
+}
+
+func TestJRSHistoryDisambiguates(t *testing.T) {
+	j := NewJRS(DefaultJRSConfig())
+	h1, h2 := bpred.GHR(0b0101), bpred.GHR(0b1010)
+	for i := 0; i < 15; i++ {
+		j.Update(100, h1, true)
+	}
+	if j.LowConfidence(100, h1) {
+		t.Error("h1 context should be confident")
+	}
+	if !j.LowConfidence(100, h2) {
+		t.Error("h2 context should still be low confidence")
+	}
+}
+
+func TestJRSThresholdBehaviour(t *testing.T) {
+	j := NewJRS(JRSConfig{LogEntries: 8, HistBits: 4, Max: 7, Threshold: 4})
+	for i := 0; i < 3; i++ {
+		j.Update(9, 0, true)
+	}
+	if !j.LowConfidence(9, 0) {
+		t.Error("3 < threshold 4 should be low confidence")
+	}
+	j.Update(9, 0, true)
+	if j.LowConfidence(9, 0) {
+		t.Error("4 >= threshold 4 should be high confidence")
+	}
+}
+
+func TestJRSBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad JRS config did not panic")
+		}
+	}()
+	NewJRS(JRSConfig{LogEntries: 0})
+}
+
+func TestTrivialEstimators(t *testing.T) {
+	if (AlwaysLow{}).LowConfidence(1, 0) != true {
+		t.Error("AlwaysLow")
+	}
+	if (NeverLow{}).LowConfidence(1, 0) != false {
+		t.Error("NeverLow")
+	}
+	if (Perfect{}).LowConfidence(1, 0) != false {
+		t.Error("Perfect placeholder should return false")
+	}
+	names := map[string]Estimator{
+		"jrs": NewJRS(DefaultJRSConfig()), "perfect": Perfect{},
+		"always-low": AlwaysLow{}, "never-low": NeverLow{},
+	}
+	for want, e := range names {
+		if e.Name() != want {
+			t.Errorf("Name() = %q, want %q", e.Name(), want)
+		}
+	}
+}
+
+// JRS accuracy property: on a stream where branch A is always correct and
+// branch B alternates correct/incorrect, A must end high-confidence and B
+// low-confidence.
+func TestJRSSeparatesStableFromUnstable(t *testing.T) {
+	j := NewJRS(DefaultJRSConfig())
+	for i := 0; i < 200; i++ {
+		j.Update(0xA0, 0, true)
+		j.Update(0xB0, 0, i%2 == 0)
+	}
+	if j.LowConfidence(0xA0, 0) {
+		t.Error("stable branch ended low confidence")
+	}
+	if !j.LowConfidence(0xB0, 0) {
+		t.Error("unstable branch ended high confidence")
+	}
+}

@@ -1,0 +1,200 @@
+// Package core implements the diverge-merge processor: an execution-driven
+// out-of-order core with dynamic predication of compiler-marked diverge
+// branches (Kim, Joao, Mutlu & Patt). The same machine also runs as the
+// baseline branch-prediction processor, as a perfect-conditional-branch
+// processor, as a Dynamic Hammock Predication (DHP) processor, and as a
+// selective dual-path processor, so every configuration the paper
+// compares shares fetch, rename, scheduling, memory and retirement logic.
+//
+// The pipeline is: fetch (branch prediction, dynamic-predication fetch
+// FSM, I-cache) → front-end delay queue (models pipeline depth) → rename
+// (RAT, per-branch checkpoints, enter/exit uops, select-uop insertion) →
+// out-of-order issue/execute (real data values, including on wrong paths)
+// → in-order retire (predicate-FALSE squash, store drain, golden-model
+// check). A fetch-following functional emulator (the "oracle") supplies
+// perfect branch outcomes and classifies wrong-path fetches; see
+// oracle.go.
+package core
+
+import "fmt"
+
+// Mode selects the machine organization being simulated.
+type Mode int
+
+// Machine modes.
+const (
+	// ModeBaseline is the aggressive branch-prediction baseline of
+	// Table 2.
+	ModeBaseline Mode = iota
+	// ModePerfect gives the baseline a perfect conditional branch
+	// predictor (the perfect-cbp bars of Figure 7).
+	ModePerfect
+	// ModeDMP is the diverge-merge processor.
+	ModeDMP
+	// ModeDHP is Dynamic Hammock Predication: dynamic predication
+	// restricted to simple hammock diverge branches.
+	ModeDHP
+	// ModeDualPath is selective dual-path execution: on a low-confidence
+	// branch, fetch both paths (sharing fetch bandwidth) until the branch
+	// resolves, then squash the losing path. No merging at
+	// control-independent points.
+	ModeDualPath
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModePerfect:
+		return "perfect-cbp"
+	case ModeDMP:
+		return "dmp"
+	case ModeDHP:
+		return "dhp"
+	case ModeDualPath:
+		return "dualpath"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config parameterises the machine. DefaultConfig reproduces Table 2.
+type Config struct {
+	Mode Mode
+
+	// Front end.
+	FetchWidth     int // instructions fetched per cycle (8)
+	MaxBrPerFetch  int // conditional branches per fetch cycle (3)
+	PipelineDepth  int // total pipeline stages; sets the front-end delay (30)
+	FetchQueueSize int // entries between fetch and rename
+
+	// Core.
+	ROBSize            int // reorder buffer entries (512)
+	IssueWidth         int // max issues per cycle (8)
+	RetireWidth        int // max retires per cycle (8)
+	LoadPorts          int // data-cache ports (2)
+	StoreBufferSize    int // store buffer entries
+	SelectUopsPerCycle int // select-uop insertion bandwidth at rename (RAT ports)
+
+	// Predictors. PredictorName selects perceptron (default), gshare,
+	// bimodal or hybrid. ConfidenceName selects jrs (default) or perfect.
+	PredictorName  string
+	ConfidenceName string
+
+	// Dynamic predication enhancements (Section 2.7).
+	MultipleCFM       bool // 2.7.1: CAM over all marked CFM points
+	EarlyExit         bool // 2.7.2: give up on the alternate path
+	EarlyExitDefault  int  // static threshold when annotation has none
+	MultipleDiverge   bool // 2.7.3: re-enter for a newer diverge branch
+	EnableLoopDiverge bool // 2.7.4: predicate marked loop branches too
+
+	// SelectiveBPUpdate suppresses branch-predictor training for
+	// dynamically predicated branches (Section 2.7.4's update-policy
+	// future work, after Klauser et al.).
+	SelectiveBPUpdate bool
+
+	// KeepAlternateGHR keeps the alternate path's global history when
+	// dynamic predication exits (the paper's design choice, footnote 7).
+	// Off by default: on this simulator's perceptron the alternate
+	// history pollutes downstream predictions, so the default restores
+	// the predicted path's GHR at the CFM point (the episode is usually
+	// case 1, where the predicted path is the real history). The ablation
+	// bench BenchmarkAblationAlternateGHR quantifies the difference.
+	KeepAlternateGHR bool
+
+	// Run limits. MaxInsts bounds retired program instructions
+	// (0 = run to HALT); MaxCycles is a hard safety stop.
+	MaxInsts  uint64
+	MaxCycles uint64
+
+	// CheckRetirement compares every retired instruction against a
+	// lockstep functional emulator (golden model). Cheap; on by default.
+	CheckRetirement bool
+}
+
+// DefaultConfig is the baseline processor of Table 2 of the paper.
+func DefaultConfig() Config {
+	return Config{
+		Mode:               ModeBaseline,
+		FetchWidth:         8,
+		MaxBrPerFetch:      3,
+		PipelineDepth:      30,
+		FetchQueueSize:     64,
+		ROBSize:            512,
+		IssueWidth:         8,
+		RetireWidth:        8,
+		LoadPorts:          2,
+		StoreBufferSize:    128,
+		SelectUopsPerCycle: 4,
+		PredictorName:      "perceptron",
+		ConfidenceName:     "jrs",
+		EarlyExitDefault:   64,
+		MaxCycles:          2_000_000_000,
+		CheckRetirement:    true,
+	}
+}
+
+// DMPConfig returns the basic diverge-merge configuration.
+func DMPConfig() Config {
+	c := DefaultConfig()
+	c.Mode = ModeDMP
+	return c
+}
+
+// EnhancedDMPConfig returns the enhanced diverge-merge configuration with
+// all three Section 2.7 enhancements (enhanced-mcfm-eexit-mdb).
+func EnhancedDMPConfig() Config {
+	c := DMPConfig()
+	c.MultipleCFM = true
+	c.EarlyExit = true
+	c.MultipleDiverge = true
+	return c
+}
+
+// DHPConfig returns the Dynamic Hammock Predication configuration.
+func DHPConfig() Config {
+	c := DefaultConfig()
+	c.Mode = ModeDHP
+	return c
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0:
+		return fmt.Errorf("core: widths must be positive")
+	case c.ROBSize < 8:
+		return fmt.Errorf("core: ROB too small")
+	case c.PipelineDepth < 5:
+		return fmt.Errorf("core: pipeline depth must be at least 5")
+	case c.MaxBrPerFetch <= 0:
+		return fmt.Errorf("core: MaxBrPerFetch must be positive")
+	case c.StoreBufferSize <= 0 || c.LoadPorts <= 0:
+		return fmt.Errorf("core: memory resources must be positive")
+	case c.SelectUopsPerCycle <= 0:
+		return fmt.Errorf("core: SelectUopsPerCycle must be positive")
+	case c.FetchQueueSize < c.FetchWidth:
+		return fmt.Errorf("core: fetch queue smaller than fetch width")
+	}
+	switch c.PredictorName {
+	case "", "perceptron", "gshare", "bimodal", "hybrid":
+	default:
+		return fmt.Errorf("core: unknown predictor %q", c.PredictorName)
+	}
+	switch c.ConfidenceName {
+	case "", "jrs", "perfect", "always-low", "never-low":
+	default:
+		return fmt.Errorf("core: unknown confidence estimator %q", c.ConfidenceName)
+	}
+	return nil
+}
+
+// frontEndDelay is the number of cycles an instruction spends between
+// fetch and rename; together with the execute/resolve path it makes the
+// minimum branch misprediction penalty equal PipelineDepth.
+func (c *Config) frontEndDelay() int {
+	d := c.PipelineDepth - 5 // fetch, rename, issue, execute, resolve
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"dmp/internal/bpred"
+)
+
+// dpPhase tracks where the fetch engine is within a dynamic predication
+// episode.
+type dpPhase uint8
+
+const (
+	dpPredicted dpPhase = iota // fetching the predicted path (Section 2.3)
+	dpAlternate                // fetching the alternate path
+	dpExited                   // exit.pred emitted; waiting for resolution
+	dpDead                     // torn down (flush, conversion, resolution)
+)
+
+// ExitCase is a Table-1 exit case of dynamic predication mode.
+type ExitCase int
+
+// Exit cases 1-6 of Table 1.
+const (
+	ExitNone ExitCase = iota
+	// Exit1: both paths reached the CFM point, branch correctly
+	// predicted: pure alternate-path overhead.
+	Exit1
+	// Exit2: both paths reached the CFM point, branch mispredicted: a
+	// pipeline flush was eliminated.
+	Exit2
+	// Exit3: predicted path reached the CFM, branch resolved correct
+	// while fetching the alternate path: fetch is redirected to the CFM.
+	Exit3
+	// Exit4: branch resolved mispredicted while fetching the (correct)
+	// alternate path: no special action, penalty reduced.
+	Exit4
+	// Exit5: branch resolved correct while still on the predicted path.
+	Exit5
+	// Exit6: branch resolved mispredicted while still on the predicted
+	// path: the pipeline is flushed as in the baseline.
+	Exit6
+)
+
+// episode is one dynamic predication episode: a low-confidence diverge
+// branch being dynamically predicated (or a dual-path fork). It carries
+// both fetch-side state (phase, CFM watch, alternate counters) and
+// rename-side state (the CP1/CP2 checkpoints).
+type episode struct {
+	id        int
+	divergeU  *uop
+	cfms      []uint64 // candidate CFM points (CAM contents)
+	cfm       uint64   // CFM chosen by the predicted path (valid once chosen)
+	cfmChosen bool
+	phase     dpPhase
+
+	predictedTaken bool
+	altStartPC     uint64    // first PC of the alternate path
+	ghr1           bpred.GHR // checkpointed GHR with the diverge bit (Section 2.3)
+	ghrAtCFM       bpred.GHR // fetch GHR when the predicted path reached the CFM
+	rasAtDiverge   bpred.RASState
+	rasAtCFM       bpred.RASState
+	earlyExited    bool
+
+	// predID1 predicates the predicted path, predID2 the alternate path.
+	predID1, predID2 int
+
+	// Rename-side checkpoints (Section 2.4). cp1 is taken when
+	// enter.pred.path renames, cp2 when enter.alternate.path renames.
+	cp1, cp2 *ratCheckpoint
+
+	altFetched    int // alternate-path instructions fetched (early exit)
+	exitThreshold int
+
+	exitCase  ExitCase
+	converted bool // reverted to a normal branch (early exit or MDB)
+	loop      bool
+
+	// dual-path only: per-stream fetch contexts live in the frontend.
+	dual bool
+}
+
+// predicate is one predicate register (Section 2.4): defined by the
+// enter uops, produced when the diverge branch resolves, consumed by
+// select-uops, the store buffer and retirement.
+type predicate struct {
+	known   bool
+	value   bool
+	waiters []*uop // select-uops (and stalled loads' stores) woken on broadcast
+}
+
+// predFile is the predicate register file. IDs are allocated
+// monotonically; id 0 means "not predicated".
+type predFile struct {
+	preds map[int]*predicate
+	next  int
+}
+
+func newPredFile() *predFile {
+	return &predFile{preds: map[int]*predicate{}, next: 1}
+}
+
+// alloc returns a fresh predicate id.
+func (f *predFile) alloc() int {
+	id := f.next
+	f.next++
+	f.preds[id] = &predicate{}
+	return id
+}
+
+// get returns the predicate record for id (nil for id 0).
+func (f *predFile) get(id int) *predicate {
+	if id == 0 {
+		return nil
+	}
+	return f.preds[id]
+}
+
+// known reports whether the predicate value has been broadcast. id 0
+// (unpredicated) is always known-true.
+func (f *predFile) known(id int) bool {
+	if id == 0 {
+		return true
+	}
+	p := f.preds[id]
+	return p != nil && p.known
+}
+
+// value returns the broadcast value; id 0 is true.
+func (f *predFile) value(id int) bool {
+	if id == 0 {
+		return true
+	}
+	p := f.preds[id]
+	return p != nil && p.known && p.value
+}
+
+// broadcast produces a predicate value and returns the uops waiting on
+// it. Broadcasting an already-known predicate to the same value is a
+// no-op; to a different value it panics (that would be a protocol bug).
+func (f *predFile) broadcast(id int, val bool) []*uop {
+	p := f.preds[id]
+	if p == nil {
+		return nil
+	}
+	if p.known {
+		if p.value != val {
+			panic("core: predicate re-broadcast with different value")
+		}
+		return nil
+	}
+	p.known = true
+	p.value = val
+	w := p.waiters
+	p.waiters = nil
+	return w
+}
+
+// await registers a uop to be woken when the predicate broadcasts. It
+// reports whether the value is already known (in which case the caller
+// should not wait).
+func (f *predFile) await(id int, u *uop) bool {
+	p := f.preds[id]
+	if p == nil || p.known {
+		return true
+	}
+	p.waiters = append(p.waiters, u)
+	return false
+}

@@ -1,0 +1,613 @@
+package core
+
+import (
+	"fmt"
+
+	"dmp/internal/bpred"
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+// fetchSnapshot is the fetch-side state carried by every control uop so a
+// misprediction recovery can restore the front end, including the state
+// of dynamic predication mode (paper footnote 11: the CFM register and
+// the phase are part of every branch checkpoint).
+type fetchSnapshot struct {
+	ghr        bpred.GHR      // speculative GHR after this instruction's effect
+	ras        bpred.RASState // RAS after this instruction's effect
+	epID       int            // live episode at this instruction (0 = none)
+	phase      dpPhase
+	altFetched int
+	cfmChosen  bool
+	cfm        uint64
+}
+
+func (m *Machine) feqCap() int {
+	return m.cfg.FetchQueueSize + m.cfg.frontEndDelay()*m.cfg.FetchWidth
+}
+
+func (m *Machine) snapFetch() *fetchSnapshot {
+	s := &fetchSnapshot{ghr: m.fetchGHR, ras: m.ras.Snapshot()}
+	if m.feEp != nil {
+		s.epID = m.feEp.id
+		s.phase = m.feEp.phase
+		s.altFetched = m.feEp.altFetched
+		s.cfmChosen = m.feEp.cfmChosen
+		s.cfm = m.feEp.cfm
+	}
+	return s
+}
+
+// fetchStage fetches up to FetchWidth instructions, at most MaxBrPerFetch
+// conditional branches, ending at the first predicted-taken branch
+// (Table 2's front end). It also runs the dynamic-predication fetch FSM:
+// predicted path → alternate path → exit (Section 2.3).
+func (m *Machine) fetchStage() {
+	if m.cycle < m.fetchStallUntil {
+		return
+	}
+	if m.dualActive {
+		m.fetchDualStage()
+		return
+	}
+	if m.fetchHalted || len(m.feq) >= m.feqCap() {
+		return
+	}
+	// Drained-machine resync: with an empty window and retirement at the
+	// oracle's frontier, fetch provably sits at the architectural next
+	// instruction, so a paused oracle can re-form lockstep even when its
+	// original pause point was absorbed into a predicated path it never
+	// followed.
+	if !m.oracle.onPath && !m.oracle.em.Halted &&
+		len(m.rob) == 0 && len(m.feq) == 0 &&
+		m.oracle.em.Count == m.retired && m.oracle.em.PC == m.fetchPC {
+		m.oracle.onPath = true
+		m.closeWP()
+	}
+	// Instruction cache: a miss stalls the whole fetch group.
+	if lat := m.hier.InstLatency(m.fetchPC * 8); lat > 2 {
+		m.fetchStallUntil = m.cycle + uint64(lat)
+		m.Stats.L1IMisses++
+		return
+	}
+
+	slots, brs := m.cfg.FetchWidth, 0
+	for slots > 0 && len(m.feq) < m.feqCap() && !m.fetchHalted {
+		if ep := m.feEp; ep != nil {
+			if ep.phase == dpAlternate && m.cfg.EarlyExit && ep.altFetched >= ep.exitThreshold {
+				m.earlyExit(ep)
+				slots--
+				continue
+			}
+			if ep.phase == dpPredicted && m.cfmHit(ep, m.fetchPC) {
+				m.switchToAlternate(ep)
+				slots--
+				continue
+			}
+			if ep.phase == dpAlternate && m.fetchPC == ep.cfm {
+				m.exitPredication(ep)
+				slots--
+				continue
+			}
+		}
+		redirected, isCond := m.fetchOne()
+		slots--
+		if isCond {
+			brs++
+		}
+		if redirected {
+			break // fetch ends at the first taken branch
+		}
+		if brs >= m.cfg.MaxBrPerFetch {
+			break
+		}
+	}
+}
+
+// cfmHit checks the fetch address against the episode's CFM points. Until
+// the predicted path has chosen a CFM, all marked points are compared
+// (the multiple-CFM CAM of Section 2.7.1); afterwards only the chosen one
+// ends the alternate path.
+func (m *Machine) cfmHit(ep *episode, pc uint64) bool {
+	if ep.cfmChosen {
+		return pc == ep.cfm
+	}
+	for _, c := range ep.cfms {
+		if c == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchOne fetches the instruction at fetchPC, runs the oracle, predicts
+// control flow, decides dynamic-predication entry, and appends the uop to
+// the front-end queue. It reports whether fetch redirected (ending the
+// group) and whether the instruction was a conditional branch.
+func (m *Machine) fetchOne() (redirected, isCond bool) {
+	pc := m.fetchPC
+	in := m.prog.At(pc)
+	u := &uop{seq: m.nextSeq(), pc: pc, inst: in, kind: kindInst, stream: m.fetchStream}
+	if ep := m.feEp; ep != nil {
+		u.ep = ep
+		if ep.phase == dpAlternate {
+			u.onAlt = true
+			u.predID = ep.predID2
+			ep.altFetched++
+		} else {
+			u.predID = ep.predID1
+		}
+	} else if m.dualActive {
+		u.ep = m.dualEp
+		if m.fetchStream == 1 {
+			u.onAlt = true
+			u.predID = m.dualEp.predID2
+		} else {
+			u.predID = m.dualEp.predID1
+		}
+	}
+	m.stepOracle(u)
+	m.noteFetched(u)
+	u.fetchGHR = m.fetchGHR
+
+	switch in.Op {
+	case isa.BR:
+		isCond = true
+		redirected = m.fetchBranch(u)
+	case isa.JMP:
+		u.predictedNext = in.Target
+		m.pushUop(u)
+		u.fetchSnap = m.snapFetch()
+		m.redirectFetch(in.Target)
+		redirected = true
+	case isa.CALL:
+		u.predictedNext = in.Target
+		m.ras.Push(pc + 1)
+		m.pushUop(u)
+		u.fetchSnap = m.snapFetch()
+		m.redirectFetch(in.Target)
+		redirected = true
+	case isa.CALLR:
+		m.ras.Push(pc + 1)
+		u.predictedNext = m.itc.Lookup(pc, m.fetchGHR)
+		m.pushUop(u)
+		u.fetchSnap = m.snapFetch()
+		m.redirectFetch(u.predictedNext)
+		redirected = true
+	case isa.JR:
+		u.predictedNext = m.itc.Lookup(pc, m.fetchGHR)
+		m.pushUop(u)
+		u.fetchSnap = m.snapFetch()
+		m.redirectFetch(u.predictedNext)
+		redirected = true
+	case isa.RET:
+		u.predictedNext = m.ras.Pop()
+		m.pushUop(u)
+		u.fetchSnap = m.snapFetch()
+		m.redirectFetch(u.predictedNext)
+		redirected = true
+	case isa.HALT:
+		u.predictedNext = pc
+		m.pushUop(u)
+		m.fetchHalted = true
+		redirected = true
+	default:
+		u.predictedNext = pc + 1
+		m.pushUop(u)
+		m.fetchPC = pc + 1
+	}
+	return redirected, isCond
+}
+
+// stepOracle offers the fetched instruction to the fetch oracle and
+// records on-path/wrong-path bookkeeping.
+func (m *Machine) stepOracle(u *uop) {
+	if m.dualActive && u.stream != m.oracleStream {
+		// The oracle follows only the stream it knows to be correct.
+		return
+	}
+	wasOn := m.oracle.onPath
+	if st, ok := m.oracle.stepIfAt(u); ok {
+		u.onPath = true
+		u.oracleHasStep = true
+		u.oracleTaken = st.Taken
+		u.oracleNext = st.NextPC
+		u.oracleCount = m.oracle.em.Count
+		m.feedWPWatchers(u.pc)
+	} else if wasOn && !m.oracle.onPath {
+		// Fetch just left the correct path at this instruction.
+		if m.traceWP != nil {
+			m.traceWP(fmt.Sprintf("pause-at fetch pc=%d seq=%d ep=%v", u.pc, u.seq, u.ep != nil))
+		}
+		m.openWP()
+		m.recordWrongFetch(u.pc)
+	} else if !m.oracle.onPath {
+		m.recordWrongFetch(u.pc)
+	}
+}
+
+// fetchBranch predicts a conditional branch, decides dynamic predication
+// entry, and redirects fetch if predicted taken. It returns whether fetch
+// redirected.
+func (m *Machine) fetchBranch(u *uop) bool {
+	in := u.inst
+	taken := m.pred.Predict(u.pc, m.fetchGHR)
+	if m.cfg.Mode == ModePerfect && u.oracleHasStep {
+		taken = u.oracleTaken
+	}
+	u.predictedTaken = taken
+	if taken {
+		u.predictedNext = in.Target
+	} else {
+		u.predictedNext = u.pc + 1
+	}
+	u.lowConf = m.lowConfidence(u)
+	if u.lowConf && u.oracleHasStep {
+		if u.predictedTaken == u.oracleTaken {
+			m.Stats.LowConfCorrect++
+		} else {
+			m.Stats.LowConfWrong++
+		}
+	}
+
+	entered := m.maybeEnterDP(u)
+	m.pushUop(u)
+	// Speculative history update with the predicted outcome.
+	m.fetchGHR = m.fetchGHR.Push(taken)
+	u.fetchSnap = m.snapFetch()
+	if entered {
+		if u.ep.dual {
+			m.emitMarker(kindFork, u.ep)
+		} else {
+			m.emitMarker(kindEnterPred, u.ep)
+		}
+	}
+	m.fetchPC = u.predictedNext
+	m.fetchHalted = false
+	return taken
+}
+
+// lowConfidence consults the confidence estimator (or the oracle for
+// perfect confidence) for a fetched conditional branch.
+func (m *Machine) lowConfidence(u *uop) bool {
+	if m.cfg.ConfidenceName == "perfect" {
+		return u.oracleHasStep && u.predictedTaken != u.oracleTaken
+	}
+	return m.confEst.LowConfidence(u.pc, u.fetchGHR)
+}
+
+// maybeEnterDP decides whether the fetched branch starts a dynamic
+// predication episode (or a dual-path fork) and sets it up. Returns true
+// if an episode began at this branch.
+func (m *Machine) maybeEnterDP(u *uop) bool {
+	switch m.cfg.Mode {
+	case ModeDMP, ModeDHP:
+	case ModeDualPath:
+		return m.maybeFork(u)
+	default:
+		return false
+	}
+	d := m.prog.DivergeAt(u.pc)
+	if d == nil || !u.lowConf {
+		return false
+	}
+	if m.cfg.Mode == ModeDHP && d.Class != prog.ClassSimpleHammock {
+		return false
+	}
+	if d.Loop && !m.cfg.EnableLoopDiverge {
+		return false
+	}
+	if ep := m.liveEp(); ep != nil {
+		// Section 2.7.3: on the predicted path, give up on the current
+		// episode and re-enter for the newer diverge branch. Anywhere
+		// else, ignore the newcomer.
+		if m.cfg.MultipleDiverge && m.feEp == ep && ep.phase == dpPredicted {
+			m.Stats.MDBConversions++
+			m.killEpisodeAssumePredicted(ep)
+		} else {
+			return false
+		}
+	}
+	m.enterEpisode(u, d)
+	return true
+}
+
+// liveEp returns the unresolved, un-dead episode if one exists. The
+// machine runs at most one episode at a time (the paper's basic processor
+// ignores diverge branches during dynamic predication mode; we extend the
+// exclusivity until resolution so predicate registers and the oracle
+// journal have a single owner).
+func (m *Machine) liveEp() *episode { return m.live }
+
+func (m *Machine) enterEpisode(u *uop, d *prog.Diverge) {
+	cfms := d.CFMs
+	if !m.cfg.MultipleCFM {
+		cfms = cfms[:1]
+	}
+	thr := d.ExitThreshold
+	if thr <= 0 {
+		thr = m.cfg.EarlyExitDefault
+	}
+	m.episodeSeq++
+	ep := &episode{
+		id:             m.episodeSeq,
+		divergeU:       u,
+		cfms:           cfms,
+		phase:          dpPredicted,
+		predictedTaken: u.predictedTaken,
+		predID1:        m.preds.alloc(),
+		exitThreshold:  thr,
+		loop:           d.Loop,
+	}
+	if u.predictedTaken {
+		ep.altStartPC = u.pc + 1
+	} else {
+		ep.altStartPC = u.inst.Target
+	}
+	ep.ghr1 = u.fetchGHR.Push(u.predictedTaken)
+	ep.rasAtDiverge = m.ras.Snapshot()
+	u.isDiverge = true
+	u.ep = ep
+	m.live = ep
+	m.feEp = ep
+	m.episodes[ep.id] = ep
+	m.Stats.Episodes++
+}
+
+// switchToAlternate ends the predicted path at the CFM point: emit
+// enter.alternate.path, jump fetch to the other side of the diverge
+// branch with the checkpointed GHR/RAS (Section 2.3).
+func (m *Machine) switchToAlternate(ep *episode) {
+	ep.cfm = m.fetchPC
+	ep.cfmChosen = true
+	ep.ghrAtCFM = m.fetchGHR
+	ep.rasAtCFM = m.ras.Snapshot()
+	m.emitMarker(kindEnterAlt, ep)
+	ep.predID2 = m.preds.alloc()
+	ep.phase = dpAlternate
+	ep.altFetched = 0
+	m.fetchPC = ep.altStartPC
+	m.fetchGHR = ep.ghr1.SetLast(!ep.predictedTaken)
+	m.ras.Restore(ep.rasAtDiverge)
+	m.fetchHalted = false
+	// If the diverge branch was mispredicted, the alternate path is the
+	// correct path: rewind the oracle to the state right after the
+	// diverge branch, which is exactly the alternate start. (This covers
+	// both the usual case, where the oracle paused there when the wrong
+	// predicted path was fetched, and the empty-predicted-path case,
+	// where it never diverged at all.)
+	if ep.divergeU.oracleHasStep && ep.divergeU.oracleTaken != ep.predictedTaken {
+		if m.oracle.rewindTo(ep.divergeU.oracleCount) {
+			m.closeWP()
+		}
+	}
+}
+
+// exitPredication ends the alternate path at the CFM point: emit
+// exit.pred (which will insert select-uops at rename) and resume normal
+// fetch from the CFM point, keeping the alternate path's GHR (Section
+// 2.3's design choice).
+func (m *Machine) exitPredication(ep *episode) {
+	m.emitMarker(kindExitPred, ep)
+	ep.phase = dpExited
+	m.feEp = nil
+	m.fetchHalted = false
+	if !m.cfg.KeepAlternateGHR {
+		// Resume post-CFM fetch with the predicted path's history (see
+		// Config.KeepAlternateGHR).
+		m.fetchGHR = ep.ghrAtCFM
+	}
+	// If the diverge branch was correctly predicted, the predicted path
+	// was the correct path and the oracle is waiting at the CFM point.
+	// (Any later squash of the post-CFM work the oracle then executes is
+	// handled by the flush-time rewind in recoverFrom.)
+	if ep.divergeU.onPath && ep.divergeU.oracleTaken == ep.predictedTaken {
+		if m.oracle.resumeAt(m.fetchPC) {
+			m.closeWP()
+		}
+	}
+}
+
+// earlyExit abandons the alternate path (Section 2.7.2): restore the
+// predicted path's end state, restart fetch from the CFM point, and
+// revert the diverge branch to a normal predicted branch by broadcasting
+// its predicate TRUE.
+func (m *Machine) earlyExit(ep *episode) {
+	m.Stats.EarlyExits++
+	ep.earlyExited = true
+	m.killEpisodeAssumePredicted(ep)
+	m.fetchPC = ep.cfm
+	m.fetchGHR = ep.ghrAtCFM
+	m.ras.Restore(ep.rasAtCFM)
+	m.fetchHalted = false
+	if ep.divergeU.oracleHasStep && ep.divergeU.oracleTaken != ep.predictedTaken {
+		// The diverge branch is actually mispredicted, so the oracle was
+		// following (or waiting at) the alternate path we just abandoned.
+		// Park it at the alternate start; the eventual misprediction
+		// flush of the diverge branch resumes it there.
+		if m.oracle.rewindTo(ep.divergeU.oracleCount) {
+			m.oracle.pause()
+			m.openWP()
+		}
+	} else if ep.divergeU.onPath {
+		// Predicted path was correct: the oracle waits at the CFM point.
+		if m.oracle.resumeAt(m.fetchPC) {
+			m.closeWP()
+		}
+	}
+}
+
+// killEpisodeAssumePredicted converts an episode to normal branch
+// prediction: the predicted path is assumed correct (p1 broadcast TRUE,
+// p2 FALSE), alternate-path uops still in the front-end queue are
+// dropped, and rename-side state is restored to the predicted path's.
+// Used by the early-exit and multiple-diverge-branch enhancements; the
+// diverge branch then behaves like a normal branch at resolution.
+func (m *Machine) killEpisodeAssumePredicted(ep *episode) {
+	ep.converted = true
+	ep.divergeU.dpConverted = true
+	m.wakePred(m.preds.broadcast(ep.predID1, true))
+	if ep.predID2 != 0 {
+		m.wakePred(m.preds.broadcast(ep.predID2, false))
+	}
+	// Drop not-yet-renamed alternate-path uops and this episode's
+	// enter.alt / exit.pred markers.
+	if ep.phase == dpAlternate || ep.phase == dpExited {
+		kept := m.feq[:0]
+		for _, q := range m.feq {
+			if q.ep == ep && (q.onAlt || q.kind == kindEnterAlt || q.kind == kindExitPred) {
+				continue
+			}
+			kept = append(kept, q)
+		}
+		m.feq = kept
+		// If the alternate path already renamed, undo its RAT effects by
+		// restoring the checkpoint taken at the end of the predicted path.
+		if ep.cp2 != nil {
+			m.rat = *ep.cp2
+		}
+	}
+	m.teardownEpisode(ep)
+}
+
+// teardownEpisode removes the episode from the live slot and the id map.
+func (m *Machine) teardownEpisode(ep *episode) {
+	ep.phase = dpDead
+	if m.live == ep {
+		m.live = nil
+	}
+	if m.feEp == ep {
+		m.feEp = nil
+	}
+	delete(m.episodes, ep.id)
+}
+
+// emitMarker pushes a predication marker uop into the front-end queue.
+func (m *Machine) emitMarker(kind uopKind, ep *episode) {
+	mu := &uop{
+		seq:  m.nextSeq(),
+		pc:   ep.divergeU.pc,
+		inst: isa.Inst{Op: isa.NOP},
+		kind: kind,
+		ep:   ep,
+	}
+	m.Stats.FetchedMarkers++
+	m.pushUop(mu)
+}
+
+// pushUop timestamps a uop for the front-end delay and appends it to the
+// fetch queue.
+func (m *Machine) pushUop(u *uop) {
+	u.renameAt = m.cycle + uint64(m.cfg.frontEndDelay())
+	m.feq = append(m.feq, u)
+}
+
+// redirectFetch moves the fetch PC (same-cycle redirect; the taken-branch
+// fetch break is modelled by ending the fetch group).
+func (m *Machine) redirectFetch(pc uint64) {
+	m.fetchPC = pc
+	m.fetchHalted = false
+}
+
+// noteFetched counts a fetched program instruction, classifying wrong-path
+// fetches for Figure 1.
+func (m *Machine) noteFetched(u *uop) {
+	m.Stats.FetchedInsts++
+}
+
+// --- wrong-path episode tracking (Figure 1) ---
+
+// openWP starts a wrong-path fetch episode when the oracle pauses.
+func (m *Machine) openWP() {
+	if m.wpOpen != nil {
+		return
+	}
+	m.Stats.OraclePauses++
+	if m.traceWP != nil {
+		m.traceWP("pause")
+	}
+	m.wpNextID++
+	m.wpOpen = &wpEpisode{id: m.wpNextID, firstSeen: map[uint64]int{}, split: -1}
+}
+
+// recordWrongFetch logs a wrong-path fetched PC into the open episode.
+func (m *Machine) recordWrongFetch(pc uint64) {
+	e := m.wpOpen
+	if e == nil {
+		// Paused before this machine opened an episode (e.g. dual-path
+		// non-oracle stream): open one now.
+		m.openWP()
+		e = m.wpOpen
+	}
+	if _, ok := e.firstSeen[pc]; !ok {
+		e.firstSeen[pc] = len(e.pcs)
+	}
+	e.pcs = append(e.pcs, pc)
+}
+
+// closeWP ends the open wrong-path episode (the oracle resumed); the
+// episode then watches the next correct-path fetches to find where the
+// wrong path had reconverged with the correct path.
+func (m *Machine) closeWP() {
+	if m.wpOpen == nil {
+		return
+	}
+	m.Stats.OracleResumes++
+	if m.traceWP != nil {
+		m.traceWP("resume")
+	}
+	e := m.wpOpen
+	m.wpOpen = nil
+	if len(e.pcs) == 0 {
+		return
+	}
+	e.watchLeft = 512
+	m.wpWatching = append(m.wpWatching, e)
+}
+
+// feedWPWatchers gives a correct-path fetched PC to all watching
+// episodes: the first wrong-path occurrence of a correct-path PC marks
+// the start of the control-independent portion of that wrong path.
+func (m *Machine) feedWPWatchers(pc uint64) {
+	if len(m.wpWatching) == 0 {
+		return
+	}
+	kept := m.wpWatching[:0]
+	for _, e := range m.wpWatching {
+		if idx, ok := e.firstSeen[pc]; ok && (e.split == -1 || idx < e.split) {
+			e.split = idx
+		}
+		e.watchLeft--
+		if e.watchLeft <= 0 || e.split == 0 {
+			m.finishWP(e)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	m.wpWatching = kept
+}
+
+// finishWP accounts a finished wrong-path episode into Figure-1 counters.
+func (m *Machine) finishWP(e *wpEpisode) {
+	if e.split < 0 {
+		m.Stats.FetchedWrongCD += uint64(len(e.pcs))
+		return
+	}
+	m.Stats.FetchedWrongCD += uint64(e.split)
+	m.Stats.FetchedWrongCI += uint64(len(e.pcs) - e.split)
+}
+
+// flushWPAll finalizes all outstanding wrong-path episodes (end of run).
+func (m *Machine) flushWPAll() {
+	if m.wpOpen != nil {
+		e := m.wpOpen
+		m.wpOpen = nil
+		if len(e.pcs) > 0 {
+			m.finishWP(e)
+		}
+	}
+	for _, e := range m.wpWatching {
+		m.finishWP(e)
+	}
+	m.wpWatching = nil
+}

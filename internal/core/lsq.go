@@ -1,0 +1,89 @@
+package core
+
+// sbEntry is one store-buffer slot. The store buffer holds stores in
+// program order from rename until retirement; dynamically predicated
+// stores carry their predicate register id and are not released to the
+// memory system until the predicate resolves TRUE (Section 2.5).
+type sbEntry struct {
+	u     *uop
+	alive bool
+}
+
+func (m *Machine) sbFull() bool { return len(m.sb) >= m.cfg.StoreBufferSize }
+
+func (m *Machine) sbAlloc(u *uop) {
+	m.sb = append(m.sb, &sbEntry{u: u, alive: true})
+}
+
+// sbSquash kills store-buffer entries younger than seq (pipeline flush).
+func (m *Machine) sbSquash(seq uint64) {
+	kept := m.sb[:0]
+	for _, e := range m.sb {
+		if e.u.seq > seq {
+			e.alive = false
+			continue
+		}
+		kept = append(kept, e)
+	}
+	m.sb = kept
+}
+
+// sbRetireHead removes the oldest live store-buffer entry, which must be
+// the store u (stores retire in program order).
+func (m *Machine) sbRetireHead(u *uop) bool {
+	for i, e := range m.sb {
+		if !e.alive {
+			continue
+		}
+		if e.u != u {
+			return false
+		}
+		e.alive = false
+		m.sb = append(m.sb[:i], m.sb[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// loadLookup implements the store-to-load forwarding rules of Section
+// 2.5. Scanning from the youngest store older than the load:
+//
+//  1. a non-predicated store (or one whose predicate is known TRUE) with
+//     a matching address forwards its value;
+//  2. a store whose predicate is known FALSE is transparent;
+//  3. a predicated store with an unresolved predicate forwards only to a
+//     load with the same predicate id (same dynamically predicated
+//     path); a load on a different path must wait;
+//  4. a store whose address is not yet computed blocks the load
+//     (conservative memory disambiguation).
+//
+// It returns the value, whether it came from the store buffer, and
+// whether the load must stall and retry.
+func (m *Machine) loadLookup(ld *uop) (val uint64, fromSB, stall bool) {
+	for i := len(m.sb) - 1; i >= 0; i-- {
+		e := m.sb[i]
+		su := e.u
+		if !e.alive || su.squashed || su.seq >= ld.seq {
+			continue
+		}
+		// Dead-path stores are transparent even before their address is
+		// known: they will never reach memory.
+		if su.predID != 0 && m.preds.known(su.predID) && !m.preds.value(su.predID) {
+			continue
+		}
+		if !su.addrValid {
+			return 0, false, true // rule 4
+		}
+		if su.addr&^7 != ld.addr&^7 {
+			continue
+		}
+		if su.predID == 0 || (m.preds.known(su.predID) && m.preds.value(su.predID)) {
+			return su.dstVal, true, false // rules 1 and 2
+		}
+		if su.predID == ld.predID {
+			return su.dstVal, true, false // rule 3: same predicated path
+		}
+		return 0, false, true // rule 3: cross-path, wait for the predicate
+	}
+	return m.dmem.Read(ld.addr), false, false
+}

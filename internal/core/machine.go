@@ -1,0 +1,291 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"dmp/internal/bpred"
+	"dmp/internal/cache"
+	"dmp/internal/conf"
+	"dmp/internal/emu"
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+// Machine is one configured processor instance bound to a program.
+// Create with New, run with Run; a Machine is single-use.
+type Machine struct {
+	cfg  Config
+	prog *prog.Program
+
+	// Predictors and memory system.
+	pred    bpred.DirPredictor
+	confEst conf.Estimator
+	btb     *bpred.BTB
+	ras     *bpred.RAS
+	itc     *bpred.ITC
+	hier    *cache.Hierarchy
+
+	// Architectural (committed) state.
+	commitRegs [isa.NumRegs]uint64
+	dmem       *emu.Memory
+
+	// Oracle and golden-model checker.
+	oracle  *fetchOracle
+	checker *emu.Emulator
+
+	// Pipeline.
+	cycle           uint64
+	seq             uint64
+	fetchPC         uint64
+	fetchGHR        bpred.GHR
+	fetchStallUntil uint64
+	fetchHalted     bool
+	feq             []*uop // front-end delay queue (fetch -> rename)
+	rob             []*uop
+	readyQ          []*uop
+	events          eventHeap
+	sb              []*sbEntry
+	replayLoads     []*uop
+
+	// Rename state.
+	rat        rat
+	dualRats   [2]*rat  // per-stream RATs while a dual-path fork is live
+	selPending []selReq // select-uops awaiting insertion bandwidth
+	selEp      *episode
+	selExitSeq uint64 // seq of the exit.pred that queued the selects
+
+	// Dynamic predication. At most one episode is live (unresolved) at a
+	// time; feEp is non-nil only while fetch is inside its predicted or
+	// alternate phase.
+	preds      *predFile
+	feEp       *episode
+	live       *episode
+	episodes   map[int]*episode
+	episodeSeq int
+
+	// Dual path.
+	streams      [2]streamCtx
+	dualActive   bool
+	dualEp       *episode
+	fetchStream  int
+	oracleStream int
+
+	// Wrong-path classification (Figure 1).
+	wpOpen     *wpEpisode
+	wpWatching []*wpEpisode
+	wpNextID   int
+
+	// traceWP, when set, is called on oracle pause/resume (debugging).
+	traceWP func(string)
+
+	// Termination.
+	halted  bool
+	runErr  error
+	retired uint64
+
+	Stats Stats
+}
+
+// streamCtx is an independent fetch context for dual-path execution.
+type streamCtx struct {
+	active bool
+	pc     uint64
+	ghr    bpred.GHR
+	ras    bpred.RASState
+	halted bool
+	rat    *rat // rename-side RAT for this stream (dual mode only)
+}
+
+// selReq is one pending select-uop insertion.
+type selReq struct {
+	reg     isa.Reg
+	fromCP2 ratEntry
+	fromRAT ratEntry
+}
+
+// wpEpisode tracks one wrong-path fetch episode for control-independence
+// classification.
+type wpEpisode struct {
+	id        int
+	pcs       []uint64       // wrong-path PCs in fetch order
+	firstSeen map[uint64]int // pc -> first index in pcs
+	watchLeft int
+	split     int // index where control-independence starts (-1 unknown)
+}
+
+// New builds a machine for p under cfg. The program must already carry
+// diverge annotations if a predication mode is selected (run
+// profile.Run first).
+func New(p *prog.Program, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, prog: p}
+
+	switch cfg.PredictorName {
+	case "", "perceptron":
+		m.pred = bpred.NewPerceptron(bpred.DefaultPerceptronConfig())
+	case "gshare":
+		m.pred = bpred.NewGShare(16, 14)
+	case "bimodal":
+		m.pred = bpred.NewBimodal(16)
+	case "hybrid":
+		m.pred = bpred.NewHybrid(14, 12)
+	}
+	switch cfg.ConfidenceName {
+	case "", "jrs":
+		m.confEst = conf.NewJRS(conf.DefaultJRSConfig())
+	case "perfect":
+		m.confEst = conf.Perfect{}
+	case "always-low":
+		m.confEst = conf.AlwaysLow{}
+	case "never-low":
+		m.confEst = conf.NeverLow{}
+	}
+	m.btb = bpred.NewBTB(4096, 4)
+	m.ras = bpred.NewRAS(64)
+	m.itc = bpred.NewITC(16)
+	m.hier = cache.NewHierarchy(cache.DefaultHierarchyConfig())
+
+	m.dmem = emu.NewMemory()
+	for addr, val := range p.Data {
+		m.dmem.Write(addr, val)
+	}
+	m.commitRegs[isa.SP] = p.StackBase
+
+	m.oracle = newFetchOracle(p)
+	if cfg.CheckRetirement {
+		m.checker = emu.New(p)
+	}
+	m.preds = newPredFile()
+	m.episodes = map[int]*episode{}
+	m.fetchPC = p.Entry
+	for r := range m.rat.e {
+		m.rat.e[r] = ratEntry{val: 0}
+	}
+	m.rat.e[isa.SP] = ratEntry{val: p.StackBase}
+	return m, nil
+}
+
+// Run simulates until the program halts or a run limit is reached, and
+// returns the statistics. A golden-model divergence returns an error.
+func (m *Machine) Run() (*Stats, error) {
+	lastRetired := uint64(0)
+	lastProgress := uint64(0)
+	for !m.halted && m.runErr == nil {
+		if m.cfg.MaxCycles != 0 && m.cycle >= m.cfg.MaxCycles {
+			break
+		}
+		if m.cfg.MaxInsts != 0 && m.Stats.RetiredInsts >= m.cfg.MaxInsts {
+			break
+		}
+		m.retireStage()
+		m.completeStage()
+		m.issueStage()
+		m.renameStage()
+		m.fetchStage()
+		m.cycle++
+
+		// Deadlock watchdog: a correct machine always retires something
+		// within a bounded number of cycles (the worst chain is a memory
+		// miss under a full window).
+		if m.Stats.RetiredInsts != lastRetired {
+			lastRetired = m.Stats.RetiredInsts
+			lastProgress = m.cycle
+		} else if m.cycle-lastProgress > 100_000 {
+			m.runErr = fmt.Errorf("core: no retirement for 100000 cycles at cycle %d (pc head=%s)", m.cycle, m.headDesc())
+		}
+	}
+	m.Stats.Cycles = m.cycle
+	m.flushWPAll()
+	if m.runErr != nil {
+		return &m.Stats, m.runErr
+	}
+	return &m.Stats, nil
+}
+
+func (m *Machine) headDesc() string {
+	if len(m.rob) == 0 {
+		return "<empty rob>"
+	}
+	h := m.rob[0]
+	d := fmt.Sprintf("seq=%d pc=%d %v kind=%v issued=%v done=%v inReady=%v inReplay=%v predID=%d",
+		h.seq, h.pc, h.inst, h.kind, h.issued, h.done, h.inReady, h.inReplay, h.predID)
+	d += fmt.Sprintf(" src1={r=%v v=%d p=%d} src2={r=%v v=%d p=%d} src3={r=%v p=%d}",
+		h.src1.ready, h.src1.val, h.src1.producer,
+		h.src2.ready, h.src2.val, h.src2.producer,
+		h.src3.ready, h.src3.producer)
+	if h.kind == kindSelect {
+		d += fmt.Sprintf(" selPred=%d known=%v", h.selPred, m.preds.known(h.selPred))
+	}
+	return d
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// CommittedReg returns an architectural register value at the current
+// retirement point (tests compare against the functional emulator).
+func (m *Machine) CommittedReg(r isa.Reg) uint64 {
+	if r == isa.Zero {
+		return 0
+	}
+	return m.commitRegs[r]
+}
+
+// CommittedMem returns a committed data-memory word.
+func (m *Machine) CommittedMem(addr uint64) uint64 { return m.dmem.Read(addr) }
+
+// nextSeq allocates a fetch-order sequence number.
+func (m *Machine) nextSeq() uint64 {
+	m.seq++
+	return m.seq
+}
+
+// --- event heap: uops ordered by completion cycle ---
+
+type event struct {
+	at uint64
+	u  *uop
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (m *Machine) schedule(u *uop, at uint64) {
+	heap.Push(&m.events, event{at: at, u: u})
+}
+
+// enqueueReady puts a uop on the ready queue if it is fully ready and not
+// already issued, queued, or squashed.
+func (m *Machine) enqueueReady(u *uop) {
+	if u.squashed || u.issued || u.inReady || !u.renamed {
+		return
+	}
+	if !u.srcReady() {
+		return
+	}
+	if u.kind == kindSelect && !m.preds.known(u.selPred) {
+		return
+	}
+	u.inReady = true
+	m.readyQ = append(m.readyQ, u)
+}
+
+// sortReady orders the ready queue oldest first (the select policy).
+func (m *Machine) sortReady() {
+	sort.Slice(m.readyQ, func(i, j int) bool { return m.readyQ[i].seq < m.readyQ[j].seq })
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"dmp/internal/emu"
+	"dmp/internal/prog"
+)
+
+// fetchOracle is a functional emulator that follows the fetch stream
+// along correct-path instructions only. While fetch is on the correct
+// path the oracle is "in lockstep": it executes each fetched instruction
+// architecturally and therefore knows every branch outcome at fetch time.
+// When fetch diverges from the correct path (a misprediction, or the
+// wrong side of a dynamically predicated branch) the oracle pauses at the
+// divergence point.
+//
+// Re-synchronisation relies on the emulator's rolling history window:
+// every oracle-executed instruction records its architectural step count
+// on the uop (uop.oracleCount), and whenever a flush (or a dynamic
+// predication transition) moves fetch back to the correct continuation of
+// an oracle-executed instruction, the oracle rewinds to exactly that
+// step. Retirement trims the window, which therefore never grows beyond
+// the instruction window.
+//
+// The oracle provides: perfect conditional branch prediction
+// (ModePerfect), perfect confidence estimation (low-confidence exactly
+// when mispredicted), and the correct-path/wrong-path labelling behind
+// Figure 1.
+type fetchOracle struct {
+	em      *emu.Emulator
+	onPath  bool
+	lastSeq uint64 // seq of the youngest uop the oracle executed
+}
+
+func newFetchOracle(p *prog.Program) *fetchOracle {
+	o := &fetchOracle{em: emu.New(p), onPath: true}
+	o.em.EnableHistory()
+	return o
+}
+
+// stepIfAt executes the instruction the uop was fetched from, if the
+// oracle is in lockstep and agrees on the PC. It returns the
+// architectural step and whether the oracle executed it. A PC mismatch
+// while in lockstep means fetch has just diverged: the oracle pauses.
+func (o *fetchOracle) stepIfAt(u *uop) (emu.Step, bool) {
+	if !o.onPath || o.em.Halted {
+		return emu.Step{}, false
+	}
+	if o.em.PC != u.pc {
+		o.onPath = false
+		return emu.Step{}, false
+	}
+	s, err := o.em.Step()
+	if err != nil {
+		// The oracle only steps in-image instructions; a failure here is
+		// a simulator bug surfaced as a paused oracle.
+		o.onPath = false
+		return emu.Step{}, false
+	}
+	o.lastSeq = u.seq
+	return s, true
+}
+
+// waitingAt reports whether the oracle is paused exactly at pc.
+func (o *fetchOracle) waitingAt(pc uint64) bool {
+	return !o.onPath && !o.em.Halted && o.em.PC == pc
+}
+
+// resumeAt puts the oracle back in lockstep if it is waiting at pc. The
+// caller must only invoke this for redirects anchored at an on-path
+// instruction; resuming on a coincidental wrong-path PC match would
+// corrupt the oracle.
+func (o *fetchOracle) resumeAt(pc uint64) bool {
+	if o.waitingAt(pc) {
+		o.onPath = true
+		return true
+	}
+	return false
+}
+
+// pause takes the oracle out of lockstep explicitly.
+func (o *fetchOracle) pause() { o.onPath = false }
+
+// rewindTo restores the oracle to the architectural state immediately
+// after step count (recorded on an oracle-executed uop) and puts it back
+// in lockstep. Reports success.
+func (o *fetchOracle) rewindTo(count uint64) bool {
+	if err := o.em.RewindTo(count); err != nil {
+		return false
+	}
+	o.onPath = true
+	return true
+}
+
+// trim tells the oracle that all steps up to count have retired and can
+// never be rewound to.
+func (o *fetchOracle) trim(count uint64) { o.em.TrimHistory(count) }

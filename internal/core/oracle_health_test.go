@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"dmp/internal/profile"
+	"dmp/internal/workload"
+)
+
+// TestOracleLockstepHealthy runs every workload under enhanced DMP and
+// checks the fetch oracle ends the run in lockstep with every pause
+// matched by a resume. A stuck oracle silently degrades wrong-path
+// classification and perfect-confidence accuracy (this regression caught
+// the missing post-exit journal).
+func TestOracleLockstepHealthy(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			train := w.Build(workload.BuildConfig{Seed: workload.TrainSeed, Scale: 1})
+			if _, err := profile.Run(train, profile.DefaultOptions()); err != nil {
+				t.Fatal(err)
+			}
+			ref := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: 1})
+			for pc, d := range train.Diverge {
+				ref.MarkDiverge(pc, d)
+			}
+			m, err := New(ref, EnhancedDMPConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.HaltRetired {
+				t.Fatal("did not halt")
+			}
+			if st.OraclePauses > st.OracleResumes+1 {
+				t.Errorf("oracle pauses %d >> resumes %d (stuck oracle)", st.OraclePauses, st.OracleResumes)
+			}
+			// Healthy end states: halted in fetch lockstep, or halted via
+			// the retirement catch-up with its position at the retirement
+			// frontier.
+			if !m.oracle.em.Halted || m.oracle.em.Count != st.RetiredInsts {
+				t.Errorf("oracle did not track the run to completion (onPath=%v halted=%v count=%d retired=%d pc=%d)",
+					m.oracle.onPath, m.oracle.em.Halted, m.oracle.em.Count, st.RetiredInsts, m.oracle.em.PC)
+			}
+		})
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"dmp/internal/isa"
+	"fmt"
+)
+
+// ratEntry maps one architectural register to its current producer: a
+// not-yet-retired uop, or a literal value. The M bit implements the
+// "modified in dynamic predication mode" tracking used to find the
+// registers that need select-uops (Section 2.4).
+type ratEntry struct {
+	u   *uop // producing uop; nil means val holds the value
+	val uint64
+	m   bool
+}
+
+// rat is the register alias table. Copies of the whole struct are the
+// checkpoints CP1/CP2 and the per-branch recovery checkpoints.
+type rat struct {
+	e [isa.NumRegs]ratEntry
+}
+
+// ratCheckpoint is a saved copy of the RAT.
+type ratCheckpoint = rat
+
+func (r *rat) snapshot() *ratCheckpoint {
+	c := *r
+	return &c
+}
+
+func (r *rat) clearM() {
+	for i := range r.e {
+		r.e[i].m = false
+	}
+}
+
+// sameSource reports whether two RAT entries name the same physical value.
+func sameSource(a, b ratEntry) bool {
+	if a.u != nil || b.u != nil {
+		return a.u == b.u
+	}
+	return a.val == b.val
+}
+
+// renameStage renames and dispatches up to FetchWidth uops per cycle.
+// Pending select-uops (from an exit.pred that reached rename) block the
+// normal stream and are inserted at SelectUopsPerCycle per cycle,
+// modelling the RAT port limit (Section 2.4).
+func (m *Machine) renameStage() {
+	width := m.cfg.FetchWidth
+
+	if len(m.selPending) > 0 {
+		ports := m.cfg.SelectUopsPerCycle
+		for ports > 0 && width > 0 && len(m.selPending) > 0 && len(m.rob) < m.cfg.ROBSize {
+			req := m.selPending[0]
+			m.selPending = m.selPending[1:]
+			m.insertSelect(req)
+			ports--
+			width--
+		}
+		if len(m.selPending) > 0 {
+			return
+		}
+		// The paper releases the checkpoint *hardware* here; we keep the
+		// saved copies on the episode because a misprediction inside the
+		// alternate path can rewind fetch to before the exit.pred, which
+		// re-inserts the select-uops from the same CP2.
+		m.selEp = nil
+	}
+
+	for width > 0 {
+		if len(m.feq) == 0 {
+			return
+		}
+		u := m.feq[0]
+		if u.renameAt > m.cycle {
+			return
+		}
+		if len(m.rob) >= m.cfg.ROBSize {
+			return
+		}
+		if u.inst.Op == isa.ST && u.kind == kindInst && m.sbFull() {
+			return
+		}
+		m.feq = m.feq[1:]
+		m.renameOne(u)
+		width--
+		if len(m.selPending) > 0 {
+			// exit.pred just renamed: selects start next cycle.
+			return
+		}
+	}
+}
+
+// renameOne renames a single uop and dispatches it into the ROB.
+func (m *Machine) renameOne(u *uop) {
+	u.renamed = true
+	// Marker rename actions run even for episodes that already resolved
+	// (the predicate is then known, but uops still in the queue behind
+	// the marker need the same RAT transformations); they are skipped
+	// only for *converted* episodes, whose alternate-side queue entries
+	// were dropped at conversion.
+	switch u.kind {
+	case kindEnterPred:
+		// Section 2.4: clear all M bits, then checkpoint CP1.
+		if ep := u.ep; ep != nil && !ep.converted {
+			m.curRAT(u).clearM()
+			ep.cp1 = m.curRAT(u).snapshot()
+		}
+		m.finishMarker(u)
+	case kindEnterAlt:
+		// Checkpoint CP2 (end of predicted path), then restore CP1 so
+		// the alternate path renames with pre-branch mappings.
+		if ep := u.ep; ep != nil && !ep.converted && ep.cp1 != nil {
+			ep.cp2 = m.curRAT(u).snapshot()
+			*m.curRAT(u) = *ep.cp1
+		}
+		m.finishMarker(u)
+	case kindExitPred:
+		if ep := u.ep; ep != nil && !ep.converted && ep.cp2 != nil {
+			m.queueSelects(ep, u.seq)
+		}
+		m.finishMarker(u)
+	case kindFork:
+		m.renameFork(u)
+	case kindInst:
+		m.renameInst(u)
+	default:
+		panic("core: renaming unexpected uop kind")
+	}
+}
+
+// finishMarker dispatches a marker uop as already-executed.
+func (m *Machine) finishMarker(u *uop) {
+	u.done = true
+	m.Stats.ExecutedMarkers++
+	m.rob = append(m.rob, u)
+}
+
+// curRAT returns the RAT a uop renames against (per-stream during
+// dual-path mode).
+func (m *Machine) curRAT(u *uop) *rat {
+	if m.dualRats[u.stream] != nil {
+		return m.dualRats[u.stream]
+	}
+	return &m.rat
+}
+
+// renameInst renames a program instruction.
+func (m *Machine) renameInst(u *uop) {
+	in := u.inst
+	r := m.curRAT(u)
+
+	u.numSrc = 2
+	if in.Uses1() {
+		u.src1 = m.operandFrom(r.e[m.regIdx(in.Src1)], u, 1, in.Src1)
+	} else {
+		u.src1 = operand{ready: true}
+	}
+	if in.Uses2() {
+		u.src2 = m.operandFrom(r.e[m.regIdx(in.Src2)], u, 2, in.Src2)
+	} else {
+		u.src2 = operand{ready: true}
+	}
+
+	if in.HasDst() && in.Dst != isa.Zero {
+		u.hasDst = true
+		u.dstArch = in.Dst
+		r.e[in.Dst] = ratEntry{u: u, m: true}
+	}
+
+	switch in.Op {
+	case isa.BR, isa.JR, isa.CALLR, isa.RET, isa.JMP, isa.CALL:
+		// Per-branch RAT checkpoint for misprediction recovery (taken
+		// after the instruction's own destination renames, so a
+		// mispredicted CALLR recovers with its link value mapped).
+		u.checkpoint = r.snapshot()
+	case isa.LD:
+		u.isLoad = true
+	case isa.ST:
+		u.isStore = true
+		m.sbAlloc(u)
+	}
+
+	m.rob = append(m.rob, u)
+	m.enqueueReady(u)
+}
+
+// regIdx bounds a register name (defensive; Reg is always < NumRegs).
+func (m *Machine) regIdx(r isa.Reg) int { return int(r) % isa.NumRegs }
+
+// operandFrom renames one source operand from a RAT entry, registering
+// the consumer with the producer if the value is not ready yet.
+func (m *Machine) operandFrom(e ratEntry, u *uop, which int, reg isa.Reg) operand {
+	if reg == isa.Zero {
+		return operand{ready: true}
+	}
+	if e.u == nil {
+		return operand{ready: true, val: e.val}
+	}
+	if e.u.squashed && !e.u.done {
+		// A RAT entry must never name a squashed producer: its value
+		// will never broadcast. This is a checkpoint-restore protocol
+		// bug, so fail loudly rather than deadlock.
+		m.fail(u, fmt.Sprintf("renamed %v against squashed producer seq=%d pc=%d %v (squashed by seq=%d at cycle %d via %s)", reg, e.u.seq, e.u.pc, e.u.inst, e.u.sqBy, e.u.sqAt, e.u.sqHow))
+	}
+	if e.u.done {
+		return operand{ready: true, val: e.u.dstVal}
+	}
+	e.u.waiters = append(e.u.waiters, waiter{u: u, which: which})
+	return operand{producer: e.u.seq}
+}
+
+// queueSelects diffs CP2 against the active RAT and queues one
+// select-uop per architectural register whose mapping differs and was
+// modified on either path (the M-bit OR of Section 2.4).
+func (m *Machine) queueSelects(ep *episode, exitSeq uint64) {
+	cp2 := ep.cp2
+	r := &m.rat
+	for i := 0; i < isa.NumRegs; i++ {
+		if isa.Reg(i) == isa.Zero {
+			continue
+		}
+		// The hardware resets the M bits as its priority encoder emits
+		// each select-uop; we leave them intact so a flush that rewinds
+		// fetch to inside the alternate path can regenerate the same
+		// select-uops from the same checkpoints.
+		if !cp2.e[i].m && !r.e[i].m {
+			continue
+		}
+		if sameSource(cp2.e[i], r.e[i]) {
+			continue
+		}
+		m.selPending = append(m.selPending, selReq{reg: isa.Reg(i), fromCP2: cp2.e[i], fromRAT: r.e[i]})
+	}
+	m.selEp = ep
+	// Select-uops take the exit.pred marker's sequence number so they sit
+	// at the marker's point in program order: younger uops were already
+	// fetched (with larger seqs) before the selects were created, and
+	// every age comparison (flush cuts, scheduling) relies on ROB
+	// positions being seq-ordered.
+	m.selExitSeq = exitSeq
+}
+
+// insertSelect dispatches one select-uop: dst = p1 ? CP2 value
+// (predicted path) : active value (alternate path).
+func (m *Machine) insertSelect(req selReq) {
+	ep := m.selEp
+	su := &uop{
+		seq:     m.selExitSeq,
+		pc:      ep.divergeU.pc,
+		inst:    isa.Inst{Op: isa.NOP},
+		kind:    kindSelect,
+		ep:      ep,
+		selPred: ep.predID1,
+		hasDst:  true,
+		dstArch: req.reg,
+		numSrc:  3,
+		renamed: true,
+	}
+	su.src1 = m.operandFrom(req.fromCP2, su, 1, req.reg)
+	su.src2 = operand{ready: true}
+	su.src3 = m.operandFrom(req.fromRAT, su, 3, req.reg)
+	m.rat.e[req.reg] = ratEntry{u: su}
+	m.rob = append(m.rob, su)
+	m.preds.await(su.selPred, su)
+	m.enqueueReady(su)
+}
+
+// wakePred re-evaluates uops that were waiting for a predicate broadcast.
+func (m *Machine) wakePred(ws []*uop) {
+	for _, w := range ws {
+		m.enqueueReady(w)
+	}
+}
+
+// renameFork snapshots the active RAT into the two dual-path stream RATs.
+func (m *Machine) renameFork(u *uop) {
+	if ep := u.ep; ep != nil && ep.phase != dpDead {
+		a, b := m.rat, m.rat
+		m.dualRats[0], m.dualRats[1] = &a, &b
+	}
+	m.finishMarker(u)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"dmp/internal/isa"
+)
+
+// retireStage retires up to RetireWidth completed uops from the head of
+// the reorder buffer, in order. Predicate-FALSE instructions free their
+// results without updating architectural state (Section 2.5); stores
+// drain to memory; the golden-model checker validates every committed
+// instruction against the functional emulator.
+func (m *Machine) retireStage() {
+	for n := 0; n < m.cfg.RetireWidth && len(m.rob) > 0; n++ {
+		u := m.rob[0]
+		if !u.done {
+			return
+		}
+		if u.predID != 0 && !m.preds.known(u.predID) {
+			// The producing diverge branch is older and retires first,
+			// broadcasting the predicate; reaching here means it
+			// completed this very cycle. Wait one cycle.
+			return
+		}
+		m.rob = m.rob[1:]
+		m.retireOne(u)
+		if m.halted || m.runErr != nil {
+			return
+		}
+	}
+}
+
+func (m *Machine) retireOne(u *uop) {
+	switch u.kind {
+	case kindEnterPred, kindEnterAlt, kindExitPred, kindFork:
+		m.Stats.RetiredMarkers++
+		return
+	case kindSelect:
+		// Select-uops commit their muxed value. At this retirement point
+		// the golden model sits exactly at the CFM point, so the muxed
+		// value must equal the architectural register.
+		m.commitRegs[u.dstArch] = u.dstVal
+		if m.checker != nil && !m.checker.Halted && m.checker.Reg(u.dstArch) != u.dstVal {
+			m.fail(u, fmt.Sprintf("select %v = %d, golden %d", u.dstArch, u.dstVal, m.checker.Reg(u.dstArch)))
+		}
+		m.Stats.RetiredSelects++
+		return
+	}
+
+	if u.predID != 0 && !m.preds.value(u.predID) {
+		// Predicate-FALSE path: the instruction becomes a NOP; its
+		// physical register is freed, a predicated store is dropped.
+		m.Stats.RetiredFalse++
+		if u.isStore {
+			if !m.sbRetireHead(u) {
+				m.fail(u, "store buffer out of order at false-store retire")
+			}
+		}
+		return
+	}
+
+	// Architectural commit.
+	if u.hasDst {
+		m.commitRegs[u.dstArch] = u.dstVal
+	}
+	if u.isStore {
+		if !m.sbRetireHead(u) {
+			m.fail(u, "store buffer out of order at store retire")
+			return
+		}
+		m.dmem.Write(u.addr, u.dstVal)
+		m.hier.DataLatency(u.addr) // allocate the line; latency is hidden
+	}
+
+	if m.checker != nil {
+		m.checkRetired(u)
+		if m.runErr != nil {
+			return
+		}
+	}
+
+	m.Stats.RetiredInsts++
+	m.retired++
+	if !m.oracle.onPath && m.oracle.em.Count == m.retired-1 && m.oracle.em.PC == u.pc {
+		// Retirement caught up with a paused oracle: the retiring
+		// instruction is architecturally the oracle's next step, so the
+		// oracle can safely follow the retirement stream until fetch
+		// lockstep can re-form (see fetchStage's drained-machine resync).
+		m.oracle.em.Step() //nolint:errcheck // next check catches drift
+	}
+	if m.retired&1023 == 0 {
+		// Retired instructions can never be squashed: shrink the
+		// oracle's rewind window.
+		m.oracle.trim(m.retired)
+	}
+
+	if u.inst.Op == isa.BR {
+		m.Stats.RetiredBranches++
+		if u.mispredicted {
+			m.Stats.RetiredMispredicts++
+		}
+		if !(m.cfg.SelectiveBPUpdate && u.isDiverge) {
+			m.pred.Update(u.pc, u.fetchGHR, u.actualTaken)
+		}
+		m.confEst.Update(u.pc, u.fetchGHR, !u.mispredicted)
+		if u.actualTaken {
+			m.btb.Insert(u.pc, u.actualNext)
+		}
+	} else if u.inst.IsIndirect() {
+		m.itc.Update(u.pc, u.fetchGHR, u.actualNext)
+	}
+
+	if u.inst.Op == isa.HALT {
+		m.halted = true
+		m.Stats.HaltRetired = true
+		m.flushWPAll()
+	}
+}
+
+// checkRetired steps the golden-model emulator and compares: the retired
+// predicate-TRUE instruction stream must be exactly the program's
+// architectural execution.
+func (m *Machine) checkRetired(u *uop) {
+	if m.checker.Halted {
+		m.fail(u, "retired instruction after golden model halted")
+		return
+	}
+	if m.checker.PC != u.pc {
+		m.fail(u, fmt.Sprintf("golden model at pc %d", m.checker.PC))
+		return
+	}
+	st, err := m.checker.Step()
+	if err != nil {
+		m.fail(u, "golden model error: "+err.Error())
+		return
+	}
+	if u.hasDst && st.WroteReg && st.RegVal != u.dstVal {
+		m.fail(u, fmt.Sprintf("dst %v = %d, golden %d", u.dstArch, u.dstVal, st.RegVal))
+		return
+	}
+	if u.isStore && (!st.IsStore || st.Addr&^7 != u.addr&^7 || st.MemVal != u.dstVal) {
+		m.fail(u, fmt.Sprintf("store addr/val %d/%d, golden %d/%d", u.addr, u.dstVal, st.Addr, st.MemVal))
+		return
+	}
+	if u.isLoad && st.IsLoad && st.MemVal != u.dstVal {
+		m.fail(u, fmt.Sprintf("load val %d, golden %d", u.dstVal, st.MemVal))
+		return
+	}
+}
+
+func (m *Machine) fail(u *uop, msg string) {
+	m.runErr = fmt.Errorf("core: cycle %d seq %d pc %d (%v %v): %s",
+		m.cycle, u.seq, u.pc, u.kind, u.inst, msg)
+}

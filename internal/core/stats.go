@@ -1,0 +1,121 @@
+package core
+
+import "fmt"
+
+// Stats aggregates everything the paper's evaluation reports.
+type Stats struct {
+	Cycles uint64
+
+	// Retired program instructions with TRUE (or no) predicate: the IPC
+	// numerator (predicate-FALSE instructions and inserted uops do not
+	// contribute, Section 3.1).
+	RetiredInsts uint64
+	// RetiredFalse counts retired predicate-FALSE program instructions.
+	RetiredFalse uint64
+	// RetiredSelects / RetiredMarkers count retired select-uops and
+	// enter/exit/fork uops (the "extra uops" of Figure 12).
+	RetiredSelects uint64
+	RetiredMarkers uint64
+
+	// Fetch-side counts (Figure 12 left, Figure 1).
+	FetchedInsts   uint64 // program instructions fetched (incl. wrong path)
+	FetchedWrongCD uint64 // wrong-path fetches, control-dependent
+	FetchedWrongCI uint64 // wrong-path fetches, control-independent
+	FetchedMarkers uint64 // inserted uops entering the pipe at fetch
+
+	// Executed counts (Figure 12 right): every uop that issued.
+	ExecutedInsts   uint64
+	ExecutedSelects uint64
+	ExecutedMarkers uint64
+
+	// Branches (Table 3), counted at retirement of predicate-TRUE
+	// conditional branches.
+	RetiredBranches    uint64
+	RetiredMispredicts uint64
+
+	// Pipeline flushes due to branch mispredictions (Figure 11).
+	Flushes uint64
+
+	// Dynamic predication episodes by Table-1 exit case (Figures 8/10).
+	ExitCases [7]uint64 // indexed by ExitCase; [0] = squashed episodes
+	// Episodes converted back to normal branches.
+	EarlyExits     uint64
+	MDBConversions uint64
+	Episodes       uint64
+
+	// Confidence estimator quality: low-confidence diverge fetches that
+	// were actually correct / incorrect.
+	LowConfCorrect uint64
+	LowConfWrong   uint64
+
+	// Memory system.
+	L1IMisses, L1DMisses, L2Misses uint64
+
+	// Loads that had to wait on store predicates or unknown addresses.
+	LoadStalls uint64
+
+	// Oracle lockstep health: pauses (fetch left the correct path) and
+	// resumes. A large gap means the oracle spent the run detached and
+	// wrong-path classification degraded to control-dependent.
+	OraclePauses, OracleResumes uint64
+
+	// HaltRetired reports whether the program ran to completion.
+	HaltRetired bool
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.RetiredInsts) / float64(s.Cycles)
+}
+
+// MispredictRate returns the conditional branch misprediction rate.
+func (s *Stats) MispredictRate() float64 {
+	if s.RetiredBranches == 0 {
+		return 0
+	}
+	return float64(s.RetiredMispredicts) / float64(s.RetiredBranches)
+}
+
+// MPKI returns mispredictions per thousand retired instructions.
+func (s *Stats) MPKI() float64 {
+	if s.RetiredInsts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.RetiredMispredicts) / float64(s.RetiredInsts)
+}
+
+// WrongPathFrac returns the fraction of fetched program instructions that
+// were on the wrong path (Figure 1's total height).
+func (s *Stats) WrongPathFrac() float64 {
+	if s.FetchedInsts == 0 {
+		return 0
+	}
+	return float64(s.FetchedWrongCD+s.FetchedWrongCI) / float64(s.FetchedInsts)
+}
+
+// ExecutedTotal returns all issued uops, including wrong-path work that
+// was later flushed.
+func (s *Stats) ExecutedTotal() uint64 {
+	return s.ExecutedInsts + s.ExecutedSelects + s.ExecutedMarkers
+}
+
+// CommittedWork returns the instructions the machine carried to
+// retirement: program instructions (TRUE and FALSE predicates) plus the
+// inserted select and marker uops. This is the paper's Figure-12
+// "executed instructions" metric — dynamic predication raises it (FALSE
+// paths and extra uops) even as flushed wrong-path work falls.
+func (s *Stats) CommittedWork() uint64 {
+	return s.RetiredInsts + s.RetiredFalse + s.RetiredSelects + s.RetiredMarkers
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"cycles=%d retired=%d IPC=%.3f br=%d misp=%d (%.2f%%) flushes=%d fetched=%d (wrongCD=%d wrongCI=%d) exec=%d sel=%d mark=%d episodes=%d cases=%v",
+		s.Cycles, s.RetiredInsts, s.IPC(), s.RetiredBranches, s.RetiredMispredicts,
+		100*s.MispredictRate(), s.Flushes, s.FetchedInsts, s.FetchedWrongCD,
+		s.FetchedWrongCI, s.ExecutedInsts, s.ExecutedSelects, s.ExecutedMarkers,
+		s.Episodes, s.ExitCases)
+}

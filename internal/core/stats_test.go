@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := &Stats{
+		Cycles:             1000,
+		RetiredInsts:       2500,
+		RetiredBranches:    400,
+		RetiredMispredicts: 40,
+		FetchedInsts:       5000,
+		FetchedWrongCD:     500,
+		FetchedWrongCI:     1500,
+		RetiredFalse:       100,
+		RetiredSelects:     30,
+		RetiredMarkers:     60,
+		ExecutedInsts:      3000,
+		ExecutedSelects:    35,
+		ExecutedMarkers:    70,
+	}
+	if got := s.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := s.MispredictRate(); got != 0.1 {
+		t.Errorf("MispredictRate = %v", got)
+	}
+	if got := s.MPKI(); got != 16 {
+		t.Errorf("MPKI = %v", got)
+	}
+	if got := s.WrongPathFrac(); got != 0.4 {
+		t.Errorf("WrongPathFrac = %v", got)
+	}
+	if got := s.ExecutedTotal(); got != 3105 {
+		t.Errorf("ExecutedTotal = %v", got)
+	}
+	if got := s.CommittedWork(); got != 2690 {
+		t.Errorf("CommittedWork = %v", got)
+	}
+	str := s.String()
+	for _, want := range []string{"IPC=2.500", "misp=40", "fetched=5000"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestStatsZeroSafe(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.MispredictRate() != 0 || s.MPKI() != 0 || s.WrongPathFrac() != 0 {
+		t.Error("zero stats produced non-zero derived metrics")
+	}
+}
+
+func TestFrontEndDelayTracksDepth(t *testing.T) {
+	for _, tt := range []struct{ depth, want int }{
+		{30, 25}, {20, 15}, {10, 5}, {5, 0},
+	} {
+		c := DefaultConfig()
+		c.PipelineDepth = tt.depth
+		if got := c.frontEndDelay(); got != tt.want {
+			t.Errorf("depth %d: delay %d, want %d", tt.depth, got, tt.want)
+		}
+	}
+}
+
+func TestDefaultConfigsAreValid(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"default":  DefaultConfig(),
+		"dmp":      DMPConfig(),
+		"enhanced": EnhancedDMPConfig(),
+		"dhp":      DHPConfig(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s config invalid: %v", name, err)
+		}
+	}
+	e := EnhancedDMPConfig()
+	if !e.MultipleCFM || !e.EarlyExit || !e.MultipleDiverge {
+		t.Error("enhanced config missing an enhancement")
+	}
+	if DHPConfig().Mode != ModeDHP || DMPConfig().Mode != ModeDMP {
+		t.Error("mode constructors wrong")
+	}
+}
+
+// The deeper the pipeline, the lower the baseline IPC on mispredict-heavy
+// code (the penalty model works end to end).
+func TestDepthHurtsBaseline(t *testing.T) {
+	var last float64 = 1e9
+	for _, depth := range []int{5, 15, 30, 45} {
+		p, _ := randomHammockProg(800)
+		cfg := DefaultConfig()
+		cfg.PipelineDepth = depth
+		st := runBoth(t, p, cfg)
+		if st.IPC() >= last {
+			t.Errorf("depth %d IPC %.3f did not drop (prev %.3f)", depth, st.IPC(), last)
+		}
+		last = st.IPC()
+	}
+}
+
+// KeepAlternateGHR (the paper's footnote-7 policy) must still produce a
+// correct machine; its performance effect is measured by the ablation
+// bench.
+func TestKeepAlternateGHRCorrect(t *testing.T) {
+	p, _ := randomHammockProg(1500)
+	profiled(t, p)
+	cfg := EnhancedDMPConfig()
+	cfg.KeepAlternateGHR = true
+	runBoth(t, p, cfg)
+}
+
+// The wrong-path classifier: drive the wpEpisode machinery directly.
+func TestWPClassifier(t *testing.T) {
+	m := &Machine{}
+	m.openWP()
+	for _, pc := range []uint64{10, 11, 12, 20, 21, 22} {
+		m.recordWrongFetch(pc)
+	}
+	m.closeWP()
+	// Correct path passes through pc 20: wrong-path fetches from index 3
+	// (the first occurrence of 20) onward are control-independent.
+	m.feedWPWatchers(5)
+	m.feedWPWatchers(20)
+	m.flushWPAll()
+	if m.Stats.FetchedWrongCD != 3 || m.Stats.FetchedWrongCI != 3 {
+		t.Errorf("CD=%d CI=%d, want 3/3", m.Stats.FetchedWrongCD, m.Stats.FetchedWrongCI)
+	}
+}
+
+func TestWPClassifierNoReconvergence(t *testing.T) {
+	m := &Machine{}
+	m.openWP()
+	for _, pc := range []uint64{10, 11, 12} {
+		m.recordWrongFetch(pc)
+	}
+	m.closeWP()
+	// Correct path never revisits those PCs within the watch window.
+	for pc := uint64(100); pc < 700; pc++ {
+		m.feedWPWatchers(pc)
+	}
+	m.flushWPAll()
+	if m.Stats.FetchedWrongCD != 3 || m.Stats.FetchedWrongCI != 0 {
+		t.Errorf("CD=%d CI=%d, want 3/0", m.Stats.FetchedWrongCD, m.Stats.FetchedWrongCI)
+	}
+}
+
+func TestWPClassifierUnfinishedEpisode(t *testing.T) {
+	m := &Machine{}
+	m.openWP()
+	m.recordWrongFetch(1)
+	m.recordWrongFetch(2)
+	// Run ends before the oracle resumes: counted as control-dependent.
+	m.flushWPAll()
+	if m.Stats.FetchedWrongCD != 2 {
+		t.Errorf("CD=%d, want 2", m.Stats.FetchedWrongCD)
+	}
+	// flushWPAll is safe to call twice.
+	m.flushWPAll()
+	if m.Stats.FetchedWrongCD != 2 {
+		t.Error("double flushWPAll double-counted")
+	}
+}
+
+// SelectiveBPUpdate must not train the predictor on predicated diverge
+// branches: on a 50/50 hammock the predictor's counters stay unbiased,
+// which we can only observe indirectly — the run must stay correct and
+// still absorb mispredictions.
+func TestSelectiveBPUpdateStillAbsorbs(t *testing.T) {
+	p, _ := randomHammockProg(1500)
+	profiled(t, p)
+	cfg := EnhancedDMPConfig()
+	cfg.SelectiveBPUpdate = true
+	cfg.ConfidenceName = "perfect"
+	st := runBoth(t, p, cfg)
+	if st.ExitCases[Exit2] == 0 {
+		t.Error("no absorbed mispredictions under SelectiveBPUpdate")
+	}
+}

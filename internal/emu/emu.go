@@ -1,0 +1,183 @@
+package emu
+
+import (
+	"fmt"
+
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+// Step describes one architecturally executed instruction: what it was,
+// what it produced, and where control went. The out-of-order core's
+// retirement checker compares against Steps; the profiler consumes them
+// as a stream.
+type Step struct {
+	PC   uint64
+	Inst isa.Inst
+	// NextPC is the PC of the next instruction.
+	NextPC uint64
+	// Taken is meaningful for conditional branches.
+	Taken bool
+	// WroteReg / RegVal record the destination register write, if any.
+	WroteReg bool
+	Reg      isa.Reg
+	RegVal   uint64
+	// Mem access, if any.
+	IsLoad, IsStore bool
+	Addr, MemVal    uint64
+	// Halted is set when the instruction was a HALT.
+	Halted bool
+}
+
+// Emulator executes a program architecturally, one instruction per Step
+// call. It is deterministic and has no timing.
+type Emulator struct {
+	Prog *prog.Program
+	Regs [isa.NumRegs]uint64
+	Mem  *Memory
+	PC   uint64
+	// Count is the number of instructions executed so far.
+	Count uint64
+	// Halted is set once HALT executes; further Steps return an error.
+	Halted bool
+
+	hist *History
+}
+
+// New returns an emulator at the program entry with initial data memory
+// loaded and the stack pointer set.
+func New(p *prog.Program) *Emulator {
+	e := &Emulator{Prog: p, Mem: NewMemory(), PC: p.Entry}
+	for addr, val := range p.Data {
+		e.Mem.Write(addr, val)
+	}
+	e.Regs[isa.SP] = p.StackBase
+	return e
+}
+
+// Clone returns an independent copy of the emulator (used by the fetch
+// oracle when it needs to checkpoint around speculative regions in tests).
+func (e *Emulator) Clone() *Emulator {
+	c := *e
+	c.Mem = e.Mem.Clone()
+	c.hist = nil // history does not transfer across clones
+	return &c
+}
+
+// Reg returns a register value (the zero register always reads zero).
+func (e *Emulator) Reg(r isa.Reg) uint64 {
+	if r == isa.Zero {
+		return 0
+	}
+	return e.Regs[r]
+}
+
+func (e *Emulator) setReg(r isa.Reg, v uint64) {
+	if r != isa.Zero {
+		e.Regs[r] = v
+	}
+}
+
+// Step executes one instruction and returns its Step record. Executing
+// past a HALT or outside the code image returns an error: the golden
+// model must never run wild, so this is a hard failure for the caller.
+func (e *Emulator) Step() (Step, error) {
+	if e.Halted {
+		return Step{}, fmt.Errorf("emu: step after halt")
+	}
+	if !e.Prog.InCode(e.PC) {
+		return Step{}, fmt.Errorf("emu: pc %d outside code image", e.PC)
+	}
+	in := e.Prog.Code[e.PC]
+	s := Step{PC: e.PC, Inst: in, NextPC: e.PC + 1}
+
+	switch {
+	case in.IsALU():
+		v := isa.EvalALU(in, e.Reg(in.Src1), e.Reg(in.Src2))
+		e.setReg(in.Dst, v)
+		s.WroteReg, s.Reg, s.RegVal = true, in.Dst, v
+	case in.Op == isa.LD:
+		addr := e.Reg(in.Src1) + uint64(in.Imm)
+		v := e.Mem.Read(addr)
+		e.setReg(in.Dst, v)
+		s.IsLoad, s.Addr, s.MemVal = true, addr, v
+		s.WroteReg, s.Reg, s.RegVal = true, in.Dst, v
+	case in.Op == isa.ST:
+		addr := e.Reg(in.Src1) + uint64(in.Imm)
+		v := e.Reg(in.Src2)
+		if e.hist != nil {
+			e.hist.wr = append(e.hist.wr, histWrite{addr, e.Mem.Read(addr)})
+		}
+		e.Mem.Write(addr, v)
+		s.IsStore, s.Addr, s.MemVal = true, addr, v
+	case in.Op == isa.BR:
+		s.Taken = in.Cond.Eval(e.Reg(in.Src1), e.Reg(in.Src2))
+		if s.Taken {
+			s.NextPC = in.Target
+		}
+	case in.Op == isa.JMP:
+		s.NextPC = in.Target
+	case in.Op == isa.JR:
+		s.NextPC = e.Reg(in.Src1)
+	case in.Op == isa.CALL:
+		e.setReg(in.Dst, e.PC+1)
+		s.WroteReg, s.Reg, s.RegVal = true, in.Dst, e.PC+1
+		s.NextPC = in.Target
+	case in.Op == isa.CALLR:
+		target := e.Reg(in.Src1)
+		e.setReg(in.Dst, e.PC+1)
+		s.WroteReg, s.Reg, s.RegVal = true, in.Dst, e.PC+1
+		s.NextPC = target
+	case in.Op == isa.RET:
+		s.NextPC = e.Reg(in.Src1)
+	case in.Op == isa.HALT:
+		s.Halted = true
+		e.Halted = true
+		s.NextPC = e.PC
+	case in.Op == isa.NOP:
+		// nothing
+	default:
+		return Step{}, fmt.Errorf("emu: pc %d: unimplemented op %v", e.PC, in.Op)
+	}
+
+	e.PC = s.NextPC
+	e.Count++
+	if e.hist != nil {
+		e.hist.marks = append(e.hist.marks, e.markNow())
+	}
+	return s, nil
+}
+
+// Run executes until HALT or until max instructions have executed (0
+// means no limit). It returns the number of instructions executed.
+func (e *Emulator) Run(max uint64) (uint64, error) {
+	start := e.Count
+	for !e.Halted {
+		if max != 0 && e.Count-start >= max {
+			break
+		}
+		if _, err := e.Step(); err != nil {
+			return e.Count - start, err
+		}
+	}
+	return e.Count - start, nil
+}
+
+// RunFunc executes until HALT or max instructions, invoking fn on every
+// step. If fn returns false, execution stops early.
+func (e *Emulator) RunFunc(max uint64, fn func(Step) bool) error {
+	start := e.Count
+	for !e.Halted {
+		if max != 0 && e.Count-start >= max {
+			return nil
+		}
+		s, err := e.Step()
+		if err != nil {
+			return err
+		}
+		if !fn(s) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package emu
+
+import (
+	"fmt"
+
+	"dmp/internal/isa"
+)
+
+// History is a rolling undo window over an emulator's recent steps: a
+// register/PC snapshot per executed instruction plus an undo log of
+// memory writes, trimmed from the front as the consumer's retirement
+// frontier advances.
+//
+// The fetch oracle uses it to rewind to the architectural state
+// immediately after any in-flight instruction: when a pipeline flush
+// squashes fetched work the oracle had already executed, the machine
+// rewinds the oracle to the flushing branch and both are exactly in
+// lockstep again. The window never needs to reach behind retirement
+// (retired instructions cannot be squashed), which bounds its size by
+// the instruction window.
+type History struct {
+	base  uint64 // step count of marks[0]
+	marks []histMark
+	wr    []histWrite
+}
+
+type histMark struct {
+	regs   [isa.NumRegs]uint64
+	pc     uint64
+	halted bool
+	nwr    int // total memory writes recorded up to and including this step
+}
+
+type histWrite struct {
+	addr, old uint64
+}
+
+// EnableHistory starts recording rewind state on every Step. The current
+// state becomes the oldest rewindable point.
+func (e *Emulator) EnableHistory() {
+	e.hist = &History{base: e.Count}
+	e.hist.marks = append(e.hist.marks, e.markNow())
+}
+
+func (e *Emulator) markNow() histMark {
+	m := histMark{regs: e.Regs, pc: e.PC, halted: e.Halted}
+	if e.hist != nil {
+		m.nwr = len(e.hist.wr)
+	}
+	return m
+}
+
+// RewindTo restores the emulator to its state immediately after step
+// `count` (Count == count). count must lie inside the history window.
+func (e *Emulator) RewindTo(count uint64) error {
+	h := e.hist
+	if h == nil {
+		return fmt.Errorf("emu: RewindTo without history")
+	}
+	if count < h.base || count > e.Count {
+		return fmt.Errorf("emu: RewindTo(%d) outside window [%d, %d]", count, h.base, e.Count)
+	}
+	idx := int(count - h.base)
+	m := h.marks[idx]
+	// Undo memory writes performed after the mark, newest first.
+	for i := len(h.wr) - 1; i >= m.nwr; i-- {
+		e.Mem.Write(h.wr[i].addr, h.wr[i].old)
+	}
+	h.wr = h.wr[:m.nwr]
+	h.marks = h.marks[:idx+1]
+	e.Regs, e.PC, e.Halted = m.regs, m.pc, m.halted
+	e.Count = count
+	return nil
+}
+
+// TrimHistory discards rewind state for steps before count: the caller
+// guarantees it will never rewind that far back (those instructions
+// retired).
+func (e *Emulator) TrimHistory(count uint64) {
+	h := e.hist
+	if h == nil || count <= h.base {
+		return
+	}
+	if count > e.Count {
+		count = e.Count
+	}
+	idx := int(count - h.base)
+	keep := h.marks[idx].nwr
+	// Compact in place; the slices stay amortised O(1) per step.
+	h.wr = append(h.wr[:0], h.wr[keep:]...)
+	for i := range h.marks[idx:] {
+		h.marks[i] = h.marks[idx+i]
+		h.marks[i].nwr -= keep
+	}
+	h.marks = h.marks[:len(h.marks)-idx]
+	h.base = count
+}
+
+// HistoryLen reports the current window size in steps, for tests.
+func (e *Emulator) HistoryLen() int {
+	if e.hist == nil {
+		return 0
+	}
+	return len(e.hist.marks) - 1
+}

@@ -1,0 +1,81 @@
+// Package emu implements the architectural (functional) model of the DMP
+// ISA: a sparse 64-bit word memory and an emulator that executes programs
+// instruction by instruction.
+//
+// The emulator serves three roles in the reproduction:
+//
+//   - golden model: the out-of-order core's retired, predicate-TRUE
+//     instruction stream must match the emulator's execution exactly;
+//   - fetch oracle: a pausable emulator instance follows the fetch stream
+//     along correct-path instructions, providing perfect branch outcomes
+//     (perfect prediction and perfect confidence estimation) and the
+//     wrong-path classification behind Figure 1;
+//   - profiler substrate: internal/profile drives it to collect edge
+//     profiles and reconvergence statistics.
+package emu
+
+// pageBits selects a 4096-word (32KB) page granularity for the sparse
+// memory; workload footprints are a few MB at most.
+const pageBits = 12
+
+const pageWords = 1 << pageBits
+
+// Memory is a sparse map of 64-bit words addressed by byte address; the
+// low three address bits are ignored (the ISA is 8-byte-word addressed).
+type Memory struct {
+	pages map[uint64]*[pageWords]uint64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint64]*[pageWords]uint64{}}
+}
+
+// Read returns the word at addr (missing words read as zero).
+func (m *Memory) Read(addr uint64) uint64 {
+	w := addr >> 3
+	pg := m.pages[w>>pageBits]
+	if pg == nil {
+		return 0
+	}
+	return pg[w&(pageWords-1)]
+}
+
+// Write stores a word at addr.
+func (m *Memory) Write(addr, val uint64) {
+	w := addr >> 3
+	idx := w >> pageBits
+	pg := m.pages[idx]
+	if pg == nil {
+		pg = new([pageWords]uint64)
+		m.pages[idx] = pg
+	}
+	pg[w&(pageWords-1)] = val
+}
+
+// Clone returns a deep copy. Cloning is how oracle emulators checkpoint;
+// pages are copied eagerly, which is acceptable because oracle clones
+// happen only at episode boundaries in tests.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for k, pg := range m.pages {
+		np := *pg
+		c.pages[k] = &np
+	}
+	return c
+}
+
+// Footprint returns the number of resident words, for tests.
+func (m *Memory) Footprint() int { return len(m.pages) * pageWords }
+
+// Each calls fn for every non-zero resident word, in unspecified order.
+func (m *Memory) Each(fn func(addr, val uint64)) {
+	for idx, pg := range m.pages {
+		base := idx << pageBits
+		for i, v := range pg {
+			if v != 0 {
+				fn((base+uint64(i))<<3, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Section 4) on the synthetic workload suite: the baseline
+// characterisation (Table 3, Figure 1), the misprediction taxonomy
+// (Figure 6), basic and enhanced diverge-merge performance (Figures
+// 7-12), the window/depth sensitivity studies (Figure 13), and the
+// selective dual-path comparison of Section 5.3.
+//
+// Absolute numbers differ from the paper — the workloads are synthetic
+// stand-ins for SPEC CPU2000 — but each experiment preserves the
+// qualitative shape the paper argues from; EXPERIMENTS.md records
+// paper-vs-measured for every row.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"dmp/internal/core"
+	"dmp/internal/profile"
+	"dmp/internal/prog"
+	"dmp/internal/workload"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Scale multiplies workload loop counts (default 3).
+	Scale int
+	// Benchmarks restricts the suite (default: all fifteen).
+	Benchmarks []string
+	// Check enables the golden-model retirement checker (default on; it
+	// costs ~20% and has caught every core bug so far).
+	Check bool
+	// Parallel bounds worker goroutines (default NumCPU).
+	Parallel int
+}
+
+// DefaultOptions returns the standard experiment configuration.
+func DefaultOptions() Options {
+	return Options{Scale: 3, Check: true}
+}
+
+func (o Options) norm() Options {
+	if o.Scale <= 0 {
+		o.Scale = 3
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workload.Names()
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.NumCPU()
+	}
+	return o
+}
+
+// Annotated builds the measurement (reference-input) program for a
+// benchmark with diverge-branch annotations transferred from a profiling
+// run on the training input — the paper's train/ref methodology.
+func Annotated(bench string, scale int) (*prog.Program, error) {
+	w, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	train := w.Build(workload.BuildConfig{Seed: workload.TrainSeed, Scale: scale})
+	if _, err := profile.Run(train, profile.DefaultOptions()); err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", bench, err)
+	}
+	ref := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: scale})
+	// The code image is identical across seeds (only data differs), so
+	// the training annotations transfer by PC.
+	for pc, d := range train.Diverge {
+		ref.MarkDiverge(pc, d)
+	}
+	return ref, nil
+}
+
+// runOne simulates one benchmark under one configuration.
+func runOne(bench string, cfg core.Config, o Options) (*core.Stats, error) {
+	p, err := Annotated(bench, o.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg.CheckRetirement = o.Check
+	m, err := core.New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s under %v: %w", bench, cfg.Mode, err)
+	}
+	return st, nil
+}
+
+// runSuite runs every benchmark under cfg in parallel, returning stats in
+// benchmark order.
+func runSuite(cfg core.Config, o Options) ([]*core.Stats, error) {
+	o = o.norm()
+	stats := make([]*core.Stats, len(o.Benchmarks))
+	errs := make([]error, len(o.Benchmarks))
+	sem := make(chan struct{}, o.Parallel)
+	var wg sync.WaitGroup
+	for i, bench := range o.Benchmarks {
+		wg.Add(1)
+		go func(i int, bench string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			stats[i], errs[i] = runOne(bench, cfg, o)
+		}(i, bench)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+// --- table rendering ---
+
+// Table is one experiment's result: a titled grid with a trailing note.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Note   string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Note)
+	}
+	return sb.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d(v uint64) string   { return fmt.Sprintf("%d", v) }
+
+// pctImp returns the % IPC improvement of st over base.
+func pctImp(st, base *core.Stats) float64 {
+	if base.IPC() == 0 {
+		return 0
+	}
+	return 100 * (st.IPC()/base.IPC() - 1)
+}
+
+func amean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

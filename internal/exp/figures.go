@@ -1,0 +1,490 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"dmp/internal/core"
+	"dmp/internal/profile"
+	"dmp/internal/prog"
+	"dmp/internal/workload"
+)
+
+// Table2 renders the baseline machine configuration (paper Table 2).
+func Table2(Options) (*Table, error) {
+	cfg := core.DefaultConfig()
+	t := &Table{ID: "table2", Title: "Baseline processor configuration", Header: []string{"component", "setting"}}
+	t.AddRow("front end", fmt.Sprintf("%d-wide fetch, <=%d cond branches/cycle, ends at first taken branch", cfg.FetchWidth, cfg.MaxBrPerFetch))
+	t.AddRow("I-cache", "64KB, 2-way, 2-cycle, 64B lines")
+	t.AddRow("direction predictor", "64KB perceptron (1021 entries, 59-bit history)")
+	t.AddRow("BTB / RAS / ITC", "4K-entry 4-way BTB; 64-entry RAS; 64K-entry indirect target cache")
+	t.AddRow("pipeline", fmt.Sprintf("%d stages (minimum misprediction penalty)", cfg.PipelineDepth))
+	t.AddRow("window", fmt.Sprintf("%d-entry ROB; %d-wide issue/retire", cfg.ROBSize, cfg.IssueWidth))
+	t.AddRow("D-cache", "64KB, 4-way, 2-cycle, 64B lines")
+	t.AddRow("L2", "1MB unified, 8-way, 10-cycle")
+	t.AddRow("memory", "300-cycle minimum latency")
+	t.AddRow("confidence estimator", "1KB JRS (2K entries; 5-bit history — scale adaptation, paper uses 12, see DESIGN.md)")
+	return t, nil
+}
+
+// Table3 reproduces the baseline characterisation: base IPC, retired
+// instructions, branches and mispredictions per benchmark.
+func Table3(o Options) (*Table, error) {
+	o = o.norm()
+	stats, err := runSuite(core.DefaultConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "table3", Title: "Baseline characteristics (paper Table 3)",
+		Header: []string{"bench", "baseIPC", "insts", "branches", "mispredicts", "missrate%"}}
+	for i, b := range o.Benchmarks {
+		s := stats[i]
+		t.AddRow(b, f2(s.IPC()), d(s.RetiredInsts), d(s.RetiredBranches),
+			d(s.RetiredMispredicts), f2(100*s.MispredictRate()))
+	}
+	return t, nil
+}
+
+// Figure1 reproduces the wrong-path fetch decomposition: the percentage
+// of all fetched instructions that were wrong-path control-dependent and
+// wrong-path control-independent, on the baseline.
+func Figure1(o Options) (*Table, error) {
+	o = o.norm()
+	stats, err := runSuite(core.DefaultConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig1", Title: "Wrong-path fetched instructions, baseline (paper Figure 1)",
+		Header: []string{"bench", "%wrong-ctrl-dep", "%wrong-ctrl-indep", "%wrong-total"}}
+	var cds, cis []float64
+	for i, b := range o.Benchmarks {
+		s := stats[i]
+		tot := float64(s.FetchedInsts)
+		cd := 100 * float64(s.FetchedWrongCD) / tot
+		ci := 100 * float64(s.FetchedWrongCI) / tot
+		cds, cis = append(cds, cd), append(cis, ci)
+		t.AddRow(b, f1(cd), f1(ci), f1(cd+ci))
+	}
+	t.AddRow("amean", f1(amean(cds)), f1(amean(cis)), f1(amean(cds)+amean(cis)))
+	t.Note = "paper: ~52% of fetches are wrong-path, ~63% of those control-independent"
+	return t, nil
+}
+
+// Figure6 reproduces the misprediction taxonomy: mispredictions per
+// thousand instructions split into simple-hammock diverge, complex
+// diverge, and other complex branches.
+func Figure6(o Options) (*Table, error) {
+	o = o.norm()
+	t := &Table{ID: "fig6", Title: "Mispredicted branch taxonomy, MPKI (paper Figure 6)",
+		Header: []string{"bench", "simple-hammock", "complex-diverge", "other", "total-mpki"}}
+	for _, bench := range o.Benchmarks {
+		p, err := Annotated(bench, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		// Attribute mispredictions on the reference input with the same
+		// predictor family as the machine.
+		rep, err := profile.Run(p, profile.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		var mpki [3]float64
+		for _, bs := range rep.Branches {
+			cls := 2 // other
+			if dv := p.DivergeAt(bs.PC); dv != nil {
+				if dv.Class == prog.ClassSimpleHammock {
+					cls = 0
+				} else {
+					cls = 1
+				}
+			}
+			mpki[cls] += float64(bs.Mispredicts)
+		}
+		k := 1000 / float64(rep.TotalInsts)
+		t.AddRow(bench, f2(mpki[0]*k), f2(mpki[1]*k), f2(mpki[2]*k),
+			f2((mpki[0]+mpki[1]+mpki[2])*k))
+	}
+	t.Note = "paper: diverge branches cover ~57% of mispredictions, simple hammocks ~9%; mcf is hammock-dominated, gcc is 'other'"
+	return t, nil
+}
+
+// figure7Configs are the five machines compared in Figure 7.
+func figure7Configs() (names []string, cfgs []core.Config) {
+	dhpJ := core.DHPConfig()
+	dhpP := core.DHPConfig()
+	dhpP.ConfidenceName = "perfect"
+	dmpJ := core.DMPConfig()
+	dmpP := core.DMPConfig()
+	dmpP.ConfidenceName = "perfect"
+	perf := core.DefaultConfig()
+	perf.Mode = core.ModePerfect
+	return []string{"DHP-jrs", "DHP-perf-conf", "diverge-jrs", "diverge-perf-conf", "perfect-cbp"},
+		[]core.Config{dhpJ, dhpP, dmpJ, dmpP, perf}
+}
+
+// Figure7 reproduces the basic diverge-merge comparison: % IPC
+// improvement over the baseline for DHP and basic DMP with real and
+// perfect confidence, plus the perfect-predictor ceiling.
+func Figure7(o Options) (*Table, error) {
+	o = o.norm()
+	base, err := runSuite(core.DefaultConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	names, cfgs := figure7Configs()
+	t := &Table{ID: "fig7", Title: "% IPC improvement over baseline (paper Figure 7)",
+		Header: append([]string{"bench"}, names...)}
+	cols := make([][]float64, len(cfgs))
+	allStats := make([][]*core.Stats, len(cfgs))
+	for ci, cfg := range cfgs {
+		st, err := runSuite(cfg, o)
+		if err != nil {
+			return nil, err
+		}
+		allStats[ci] = st
+	}
+	for bi, bench := range o.Benchmarks {
+		row := []string{bench}
+		for ci := range cfgs {
+			imp := pctImp(allStats[ci][bi], base[bi])
+			cols[ci] = append(cols[ci], imp)
+			row = append(row, f1(imp))
+		}
+		t.AddRow(row...)
+	}
+	meanRow := []string{"amean"}
+	for ci := range cfgs {
+		meanRow = append(meanRow, f1(amean(cols[ci])))
+	}
+	t.AddRow(meanRow...)
+	t.Note = "paper (amean): DHP-jrs 2.8, DHP-perf 3.4, diverge-jrs 5.0, diverge-perf 19, perfect-cbp 48"
+	return t, nil
+}
+
+// exitCaseTable renders the Table-1 exit-case distribution of a
+// configuration (Figures 8 and 10).
+func exitCaseTable(id, title string, cfg core.Config, o Options) (*Table, error) {
+	o = o.norm()
+	stats, err := runSuite(cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: id, Title: title,
+		Header: []string{"bench", "case1%", "case2%", "case3%", "case4%", "case5%", "case6%", "squashed%", "episodes"}}
+	for i, b := range o.Benchmarks {
+		s := stats[i]
+		var tot float64
+		for _, c := range s.ExitCases {
+			tot += float64(c)
+		}
+		if tot == 0 {
+			t.AddRow(b, "-", "-", "-", "-", "-", "-", "-", "0")
+			continue
+		}
+		pct := func(c core.ExitCase) string { return f1(100 * float64(s.ExitCases[c]) / tot) }
+		t.AddRow(b, pct(core.Exit1), pct(core.Exit2), pct(core.Exit3), pct(core.Exit4),
+			pct(core.Exit5), pct(core.Exit6), f1(100*float64(s.ExitCases[0])/tot), d(s.Episodes))
+	}
+	return t, nil
+}
+
+// Figure8 is the exit-case distribution of the basic diverge-merge
+// processor.
+func Figure8(o Options) (*Table, error) {
+	t, err := exitCaseTable("fig8", "Exit cases, basic DMP with JRS confidence (paper Figure 8)", core.DMPConfig(), o)
+	if err == nil {
+		t.Note = "paper: cases 1+2 dominate but fall under 40% for bzip2/gap/gzip; case 3 ~10%"
+	}
+	return t, err
+}
+
+// Figure9 reproduces the enhanced diverge-merge study: basic, +multiple
+// CFM points, +early exit, +multiple diverge branches (cumulative).
+func Figure9(o Options) (*Table, error) {
+	o = o.norm()
+	base, err := runSuite(core.DefaultConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(mcfm, eexit, mdb bool) core.Config {
+		c := core.DMPConfig()
+		c.MultipleCFM = mcfm
+		c.EarlyExit = eexit
+		c.MultipleDiverge = mdb
+		return c
+	}
+	names := []string{"basic-diverge", "enhanced-mcfm", "enhanced-mcfm-eexit", "enhanced-mcfm-eexit-mdb"}
+	cfgs := []core.Config{mk(false, false, false), mk(true, false, false), mk(true, true, false), mk(true, true, true)}
+	t := &Table{ID: "fig9", Title: "% IPC improvement over baseline, enhancements (paper Figure 9)",
+		Header: append([]string{"bench"}, names...)}
+	cols := make([][]float64, len(cfgs))
+	allStats := make([][]*core.Stats, len(cfgs))
+	for ci, cfg := range cfgs {
+		st, err := runSuite(cfg, o)
+		if err != nil {
+			return nil, err
+		}
+		allStats[ci] = st
+	}
+	for bi, bench := range o.Benchmarks {
+		row := []string{bench}
+		for ci := range cfgs {
+			imp := pctImp(allStats[ci][bi], base[bi])
+			cols[ci] = append(cols[ci], imp)
+			row = append(row, f1(imp))
+		}
+		t.AddRow(row...)
+	}
+	meanRow := []string{"amean"}
+	for ci := range cfgs {
+		meanRow = append(meanRow, f1(amean(cols[ci])))
+	}
+	t.AddRow(meanRow...)
+	t.Note = "paper: enhancements are cumulative; all three give 10.8% average"
+	return t, nil
+}
+
+// Figure10 is the exit-case distribution of the enhanced diverge-merge
+// processor.
+func Figure10(o Options) (*Table, error) {
+	t, err := exitCaseTable("fig10", "Exit cases, enhanced DMP (paper Figure 10)", core.EnhancedDMPConfig(), o)
+	if err == nil {
+		t.Note = "paper: early exit cuts case 3 from ~10% to ~3%"
+	}
+	return t, err
+}
+
+// Figure11 reproduces the pipeline-flush reduction of the enhanced DMP
+// over the baseline.
+func Figure11(o Options) (*Table, error) {
+	o = o.norm()
+	base, err := runSuite(core.DefaultConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	enh, err := runSuite(core.EnhancedDMPConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig11", Title: "Reduction in pipeline flushes, enhanced DMP (paper Figure 11)",
+		Header: []string{"bench", "base-flushes", "dmp-flushes", "reduction%"}}
+	var reds []float64
+	for i, b := range o.Benchmarks {
+		red := 0.0
+		if base[i].Flushes > 0 {
+			red = 100 * (1 - float64(enh[i].Flushes)/float64(base[i].Flushes))
+		}
+		reds = append(reds, red)
+		t.AddRow(b, d(base[i].Flushes), d(enh[i].Flushes), f1(red))
+	}
+	t.AddRow("amean", "", "", f1(amean(reds)))
+	t.Note = "paper: 31% average flush reduction; >40% on bzip2/parser/twolf/vpr/mesa/fma3d"
+	return t, nil
+}
+
+// Figure12 reproduces the fetched/executed instruction comparison:
+// enhanced DMP fetches fewer instructions (no control-independent
+// refetch) but executes more (FALSE-predicate work plus inserted uops).
+func Figure12(o Options) (*Table, error) {
+	o = o.norm()
+	base, err := runSuite(core.DefaultConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	enh, err := runSuite(core.EnhancedDMPConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig12", Title: "Fetched and executed instructions (paper Figure 12)",
+		Header: []string{"bench", "base-fetched", "dmp-fetched", "base-exec", "dmp-exec", "dmp-extra-uops", "dmp-selects"}}
+	var fr, er []float64
+	for i, b := range o.Benchmarks {
+		fr = append(fr, 100*(1-float64(enh[i].FetchedInsts)/float64(base[i].FetchedInsts)))
+		er = append(er, 100*(float64(enh[i].CommittedWork())/float64(base[i].CommittedWork())-1))
+		t.AddRow(b, d(base[i].FetchedInsts), d(enh[i].FetchedInsts),
+			d(base[i].CommittedWork()), d(enh[i].CommittedWork()),
+			d(enh[i].RetiredMarkers), d(enh[i].RetiredSelects))
+	}
+	t.Note = fmt.Sprintf("fetch reduction amean %.1f%% (paper 18%%); executed increase amean %.1f%% (paper 9%%)",
+		amean(fr), amean(er))
+	return t, nil
+}
+
+// sweepTable runs base/DHP/enhanced-DMP over a parameter sweep and
+// reports average IPC per point (Figures 13a and 13b).
+func sweepTable(id, title, param string, values []int, apply func(*core.Config, int), o Options) (*Table, error) {
+	o = o.norm()
+	t := &Table{ID: id, Title: title,
+		Header: []string{param, "base-IPC", "DHP-IPC", "enhanced-DMP-IPC", "DMP-gain%"}}
+	for _, v := range values {
+		mk := func(c core.Config) core.Config {
+			apply(&c, v)
+			return c
+		}
+		base, err := runSuite(mk(core.DefaultConfig()), o)
+		if err != nil {
+			return nil, err
+		}
+		dhp, err := runSuite(mk(core.DHPConfig()), o)
+		if err != nil {
+			return nil, err
+		}
+		dmp, err := runSuite(mk(core.EnhancedDMPConfig()), o)
+		if err != nil {
+			return nil, err
+		}
+		var bi, hi, di, gain []float64
+		for i := range base {
+			bi = append(bi, base[i].IPC())
+			hi = append(hi, dhp[i].IPC())
+			di = append(di, dmp[i].IPC())
+			gain = append(gain, pctImp(dmp[i], base[i]))
+		}
+		t.AddRow(fmt.Sprintf("%d", v), f3(amean(bi)), f3(amean(hi)), f3(amean(di)), f1(amean(gain)))
+	}
+	return t, nil
+}
+
+// Figure13a sweeps the instruction window (128/256/512-entry ROB).
+func Figure13a(o Options) (*Table, error) {
+	t, err := sweepTable("fig13a", "Effect of instruction window size (paper Figure 13a)", "window",
+		[]int{128, 256, 512}, func(c *core.Config, v int) { c.ROBSize = v }, o)
+	if err == nil {
+		t.Note = "paper: DMP gain grows with window size (6.9% / 9.4% / 10.8%)"
+	}
+	return t, err
+}
+
+// Figure13b sweeps the pipeline depth (10/20/30 stages, 256-entry ROB).
+func Figure13b(o Options) (*Table, error) {
+	t, err := sweepTable("fig13b", "Effect of pipeline depth (paper Figure 13b)", "depth",
+		[]int{10, 20, 30}, func(c *core.Config, v int) { c.PipelineDepth = v; c.ROBSize = 256 }, o)
+	if err == nil {
+		t.Note = "paper: DMP gain grows with depth (3.3% / 6.8% / 9.4%)"
+	}
+	return t, err
+}
+
+// DualPath reproduces the Section 5.3 comparison: selective dual-path
+// vs. DHP vs. enhanced DMP, as % IPC improvement over the baseline.
+func DualPath(o Options) (*Table, error) {
+	o = o.norm()
+	base, err := runSuite(core.DefaultConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	dual := core.DefaultConfig()
+	dual.Mode = core.ModeDualPath
+	ds, err := runSuite(dual, o)
+	if err != nil {
+		return nil, err
+	}
+	hs, err := runSuite(core.DHPConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := runSuite(core.EnhancedDMPConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "dualpath", Title: "Selective dual-path vs DHP vs enhanced DMP (paper Section 5.3)",
+		Header: []string{"bench", "dual-path%", "DHP%", "enhanced-DMP%"}}
+	var dv, hv, mv []float64
+	for i, b := range o.Benchmarks {
+		d1, h1, m1 := pctImp(ds[i], base[i]), pctImp(hs[i], base[i]), pctImp(ms[i], base[i])
+		dv, hv, mv = append(dv, d1), append(hv, h1), append(mv, m1)
+		t.AddRow(b, f1(d1), f1(h1), f1(m1))
+	}
+	t.AddRow("amean", f1(amean(dv)), f1(amean(hv)), f1(amean(mv)))
+	t.Note = "paper: dual-path 2.6%, DHP 2.8%, DMP 10.8%"
+	return t, nil
+}
+
+// Annotated2 is Annotated with loop-diverge marking enabled (Section
+// 2.7.4 future work).
+func annotatedLoops(bench string, scale int) (*prog.Program, error) {
+	w, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	train := w.Build(workload.BuildConfig{Seed: workload.TrainSeed, Scale: scale})
+	popts := profile.DefaultOptions()
+	popts.IncludeLoops = true
+	if _, err := profile.Run(train, popts); err != nil {
+		return nil, err
+	}
+	ref := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: scale})
+	for pc, d := range train.Diverge {
+		ref.MarkDiverge(pc, d)
+	}
+	return ref, nil
+}
+
+// LoopDiverge evaluates the diverge loop branch extension (Section 2.7.4
+// future work, implemented here): enhanced DMP with and without
+// predication of marked backward branches.
+func LoopDiverge(o Options) (*Table, error) {
+	o = o.norm()
+	t := &Table{ID: "loopdiverge", Title: "Diverge loop branches (paper Section 2.7.4, future work)",
+		Header: []string{"bench", "base-IPC", "enhanced%", "enhanced+loops%", "loop-episodes"}}
+	for _, bench := range o.Benchmarks {
+		base, err := runOne(bench, core.DefaultConfig(), o)
+		if err != nil {
+			return nil, err
+		}
+		enh, err := runOne(bench, core.EnhancedDMPConfig(), o)
+		if err != nil {
+			return nil, err
+		}
+		p, err := annotatedLoops(bench, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.EnhancedDMPConfig()
+		cfg.EnableLoopDiverge = true
+		cfg.CheckRetirement = o.Check
+		m, err := core.New(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := m.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s loops: %w", bench, err)
+		}
+		t.AddRow(bench, f3(base.IPC()), f1(pctImp(enh, base)), f1(pctImp(lo, base)), d(lo.Episodes-enh.Episodes))
+	}
+	t.Note = "backward (loop) diverge branches predicated like wish loops; episode delta counts the extra loop episodes"
+	return t, nil
+}
+
+// All lists the experiment generators by id.
+var All = map[string]func(Options) (*Table, error){
+	"table2":      Table2,
+	"table3":      Table3,
+	"fig1":        Figure1,
+	"fig6":        Figure6,
+	"fig7":        Figure7,
+	"fig8":        Figure8,
+	"fig9":        Figure9,
+	"fig10":       Figure10,
+	"fig11":       Figure11,
+	"fig12":       Figure12,
+	"fig13a":      Figure13a,
+	"fig13b":      Figure13b,
+	"dualpath":    DualPath,
+	"loopdiverge": LoopDiverge,
+}
+
+// IDs returns the experiment ids in presentation order.
+func IDs() []string {
+	ids := []string{"table2", "table3", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "dualpath", "loopdiverge"}
+	if len(ids) != len(All) {
+		keys := make([]string, 0, len(All))
+		for k := range All {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		panic(fmt.Sprintf("exp: id list drift: %v", keys))
+	}
+	return ids
+}

@@ -1,0 +1,392 @@
+// Package isa defines the instruction set architecture simulated by the
+// diverge-merge processor reproduction: a small 64-bit RISC ISA with
+// register-register ALU operations, compare-and-branch conditional
+// branches, direct and indirect jumps and calls, and 8-byte loads and
+// stores.
+//
+// One instruction occupies one address unit: the program counter advances
+// by 1 past a non-control instruction. This keeps control-flow merge
+// (CFM) point comparisons and branch-target bookkeeping exact; structures
+// that care about byte addresses (the instruction cache) map a PC p to
+// byte address 8*p.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The ISA has 32 integer registers;
+// R0 is hardwired to zero (writes to it are discarded).
+type Reg uint8
+
+// NumRegs is the number of architectural integer registers.
+const NumRegs = 32
+
+// Conventional register roles. Only Zero has hardware meaning; SP and LR
+// are software conventions used by the program builder.
+const (
+	Zero Reg = 0  // always reads as zero
+	SP   Reg = 30 // stack pointer (convention)
+	LR   Reg = 31 // link register (convention, written by CALL)
+)
+
+// R returns the n'th general register and panics if n is out of range.
+// It exists so that workload generators can compute register names.
+func R(n int) Reg {
+	if n < 0 || n >= NumRegs {
+		panic(fmt.Sprintf("isa: register r%d out of range", n))
+	}
+	return Reg(n)
+}
+
+func (r Reg) String() string {
+	switch r {
+	case Zero:
+		return "zero"
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The set is deliberately small; wider semantics
+// (signed/unsigned shifts, sub-word memory access) are not needed by the
+// workloads and would not change any mechanism under study.
+const (
+	NOP Op = iota
+
+	// ALU register-register: Dst = Src1 op Src2.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SHL // logical shift left by Src2&63
+	SHR // logical shift right by Src2&63
+	MUL
+	DIV // unsigned divide; division by zero yields all-ones
+	SLT // set if signed less-than: Dst = (int64(Src1) < int64(Src2))
+	SLTU
+
+	// ALU register-immediate: Dst = Src1 op Imm.
+	ADDI
+	SUBI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+	MULI
+	SLTI
+	SLTUI
+
+	// LI loads the 64-bit immediate: Dst = Imm.
+	LI
+
+	// Memory: LD Dst = mem[Src1+Imm]; ST mem[Src1+Imm] = Src2.
+	// Addresses are 8-byte words; the low 3 address bits are ignored.
+	LD
+	ST
+
+	// BR is the conditional branch: if Cond(Src1, Src2) then PC = Target
+	// else fall through. Comparisons are signed.
+	BR
+
+	// JMP is a direct unconditional jump to Target.
+	JMP
+	// JR is an indirect jump: PC = Src1.
+	JR
+	// CALL is a direct call: LR-like link into Dst (conventionally LR),
+	// PC = Target.
+	CALL
+	// CALLR is an indirect call through Src1, linking into Dst.
+	CALLR
+	// RET returns: PC = Src1 (conventionally LR). Distinct from JR so the
+	// front end can use the return address stack.
+	RET
+
+	// HALT stops the program.
+	HALT
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", MUL: "mul", DIV: "div", SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", SUBI: "subi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SHLI: "shli", SHRI: "shri", MULI: "muli", SLTI: "slti", SLTUI: "sltui",
+	LI: "li", LD: "ld", ST: "st", BR: "br", JMP: "jmp", JR: "jr",
+	CALL: "call", CALLR: "callr", RET: "ret", HALT: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation code.
+func (o Op) Valid() bool { return o < numOps }
+
+// Cond is a conditional-branch comparison. Comparisons are signed.
+type Cond uint8
+
+// Branch conditions.
+const (
+	EQ Cond = iota
+	NE
+	LT
+	GE
+	LE
+	GT
+)
+
+var condNames = [...]string{EQ: "eq", NE: "ne", LT: "lt", GE: "ge", LE: "le", GT: "gt"}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Eval evaluates the condition on two register values.
+func (c Cond) Eval(a, b uint64) bool {
+	sa, sb := int64(a), int64(b)
+	switch c {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return sa < sb
+	case GE:
+		return sa >= sb
+	case LE:
+		return sa <= sb
+	case GT:
+		return sa > sb
+	}
+	return false
+}
+
+// Negate returns the complementary condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case GE:
+		return LT
+	case LE:
+		return GT
+	case GT:
+		return LE
+	}
+	return c
+}
+
+// Inst is one decoded instruction. The zero value is a NOP.
+type Inst struct {
+	Op     Op
+	Cond   Cond   // BR only
+	Dst    Reg    // destination register (ALU, LI, LD, CALL/CALLR link)
+	Src1   Reg    // first source (also JR/RET/CALLR target register)
+	Src2   Reg    // second source (ALU rr, ST data, BR compare)
+	Imm    int64  // immediate (ALU ri, LI, LD/ST displacement)
+	Target uint64 // BR/JMP/CALL target PC
+}
+
+// HasDst reports whether the instruction writes a destination register.
+// Writes to the zero register are architecturally discarded but still
+// "have" a destination for renaming purposes; callers that care use
+// Dst == Zero separately.
+func (i Inst) HasDst() bool {
+	switch i.Op {
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MUL, DIV, SLT, SLTU,
+		ADDI, SUBI, ANDI, ORI, XORI, SHLI, SHRI, MULI, SLTI, SLTUI,
+		LI, LD, CALL, CALLR:
+		return true
+	}
+	return false
+}
+
+// Uses1 reports whether Src1 is read.
+func (i Inst) Uses1() bool {
+	switch i.Op {
+	case NOP, LI, JMP, CALL, HALT:
+		return false
+	}
+	return true
+}
+
+// Uses2 reports whether Src2 is read.
+func (i Inst) Uses2() bool {
+	switch i.Op {
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MUL, DIV, SLT, SLTU, ST, BR:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool { return i.Op == BR }
+
+// IsControl reports whether the instruction can redirect the PC.
+func (i Inst) IsControl() bool {
+	switch i.Op {
+	case BR, JMP, JR, CALL, CALLR, RET, HALT:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether the instruction's target comes from a register.
+func (i Inst) IsIndirect() bool {
+	switch i.Op {
+	case JR, CALLR, RET:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction is a call (pushes a return
+// address for the return address stack).
+func (i Inst) IsCall() bool { return i.Op == CALL || i.Op == CALLR }
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Inst) IsMem() bool { return i.Op == LD || i.Op == ST }
+
+// IsUncondDirect reports whether the instruction always jumps to a target
+// known at decode time (JMP, CALL).
+func (i Inst) IsUncondDirect() bool { return i.Op == JMP || i.Op == CALL }
+
+// Latency returns the execution latency of the instruction in cycles,
+// excluding memory-hierarchy time for loads (which is added by the cache
+// model).
+func (i Inst) Latency() int {
+	switch i.Op {
+	case MUL, MULI:
+		return 4
+	case DIV:
+		return 20
+	default:
+		return 1
+	}
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	switch i.Op {
+	case NOP, HALT:
+		return i.Op.String()
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MUL, DIV, SLT, SLTU:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Dst, i.Src1, i.Src2)
+	case ADDI, SUBI, ANDI, ORI, XORI, SHLI, SHRI, MULI, SLTI, SLTUI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Dst, i.Src1, i.Imm)
+	case LI:
+		return fmt.Sprintf("li %s, %d", i.Dst, i.Imm)
+	case LD:
+		return fmt.Sprintf("ld %s, %d(%s)", i.Dst, i.Imm, i.Src1)
+	case ST:
+		return fmt.Sprintf("st %s, %d(%s)", i.Src2, i.Imm, i.Src1)
+	case BR:
+		return fmt.Sprintf("br.%s %s, %s, %d", i.Cond, i.Src1, i.Src2, i.Target)
+	case JMP:
+		return fmt.Sprintf("jmp %d", i.Target)
+	case JR:
+		return fmt.Sprintf("jr %s", i.Src1)
+	case CALL:
+		return fmt.Sprintf("call %d, %s", i.Target, i.Dst)
+	case CALLR:
+		return fmt.Sprintf("callr %s, %s", i.Src1, i.Dst)
+	case RET:
+		return fmt.Sprintf("ret %s", i.Src1)
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}
+
+// EvalALU computes the result of an ALU operation (including LI) given the
+// two source register values. It panics if op is not an ALU operation.
+func EvalALU(i Inst, a, b uint64) uint64 {
+	switch i.Op {
+	case ADD:
+		return a + b
+	case SUB:
+		return a - b
+	case AND:
+		return a & b
+	case OR:
+		return a | b
+	case XOR:
+		return a ^ b
+	case SHL:
+		return a << (b & 63)
+	case SHR:
+		return a >> (b & 63)
+	case MUL:
+		return a * b
+	case DIV:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case SLT:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case SLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case ADDI:
+		return a + uint64(i.Imm)
+	case SUBI:
+		return a - uint64(i.Imm)
+	case ANDI:
+		return a & uint64(i.Imm)
+	case ORI:
+		return a | uint64(i.Imm)
+	case XORI:
+		return a ^ uint64(i.Imm)
+	case SHLI:
+		return a << (uint64(i.Imm) & 63)
+	case SHRI:
+		return a >> (uint64(i.Imm) & 63)
+	case MULI:
+		return a * uint64(i.Imm)
+	case SLTI:
+		if int64(a) < i.Imm {
+			return 1
+		}
+		return 0
+	case SLTUI:
+		if a < uint64(i.Imm) {
+			return 1
+		}
+		return 0
+	case LI:
+		return uint64(i.Imm)
+	}
+	panic(fmt.Sprintf("isa: EvalALU on non-ALU op %v", i.Op))
+}
+
+// IsALU reports whether the instruction is computed by EvalALU.
+func (i Inst) IsALU() bool {
+	switch i.Op {
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MUL, DIV, SLT, SLTU,
+		ADDI, SUBI, ANDI, ORI, XORI, SHLI, SHRI, MULI, SLTI, SLTUI, LI:
+		return true
+	}
+	return false
+}

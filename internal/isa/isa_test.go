@@ -1,0 +1,250 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{Zero: "zero", SP: "sp", LR: "lr", 5: "r5", 29: "r29"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestRPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{-1, NumRegs, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("R(%d) did not panic", n)
+				}
+			}()
+			R(n)
+		}()
+	}
+	if R(7) != Reg(7) {
+		t.Error("R(7) != Reg(7)")
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	neg := uint64(math.MaxUint64) // -1 signed
+	tests := []struct {
+		c    Cond
+		a, b uint64
+		want bool
+	}{
+		{EQ, 5, 5, true}, {EQ, 5, 6, false},
+		{NE, 5, 6, true}, {NE, 5, 5, false},
+		{LT, neg, 0, true}, {LT, 0, neg, false}, {LT, 3, 3, false},
+		{GE, 3, 3, true}, {GE, 0, neg, true}, {GE, neg, 0, false},
+		{LE, 3, 3, true}, {LE, 2, 3, true}, {LE, 4, 3, false},
+		{GT, 4, 3, true}, {GT, 3, 3, false}, {GT, neg, 0, false},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Eval(tt.a, tt.b); got != tt.want {
+			t.Errorf("%v.Eval(%d,%d) = %v, want %v", tt.c, int64(tt.a), int64(tt.b), got, tt.want)
+		}
+	}
+}
+
+func TestCondNegateIsInverse(t *testing.T) {
+	conds := []Cond{EQ, NE, LT, GE, LE, GT}
+	f := func(a, b int64) bool {
+		for _, c := range conds {
+			if c.Eval(uint64(a), uint64(b)) == c.Negate().Eval(uint64(a), uint64(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, c := range conds {
+		if c.Negate().Negate() != c {
+			t.Errorf("%v.Negate().Negate() != %v", c, c)
+		}
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		a, b uint64
+		want uint64
+	}{
+		{Inst{Op: ADD}, 2, 3, 5},
+		{Inst{Op: SUB}, 2, 3, ^uint64(0)},
+		{Inst{Op: AND}, 0xF0, 0x3C, 0x30},
+		{Inst{Op: OR}, 0xF0, 0x0F, 0xFF},
+		{Inst{Op: XOR}, 0xFF, 0x0F, 0xF0},
+		{Inst{Op: SHL}, 1, 4, 16},
+		{Inst{Op: SHL}, 1, 64, 1}, // shift masked to 6 bits
+		{Inst{Op: SHR}, 16, 4, 1},
+		{Inst{Op: MUL}, 7, 6, 42},
+		{Inst{Op: DIV}, 42, 6, 7},
+		{Inst{Op: DIV}, 42, 0, ^uint64(0)}, // div-by-zero convention
+		{Inst{Op: SLT}, ^uint64(0), 0, 1},  // -1 < 0 signed
+		{Inst{Op: SLTU}, ^uint64(0), 0, 0}, // max > 0 unsigned
+		{Inst{Op: ADDI, Imm: -1}, 5, 0, 4},
+		{Inst{Op: SUBI, Imm: 2}, 5, 0, 3},
+		{Inst{Op: ANDI, Imm: 0xF}, 0x3C, 0, 0xC},
+		{Inst{Op: ORI, Imm: 0x10}, 1, 0, 0x11},
+		{Inst{Op: XORI, Imm: 1}, 3, 0, 2},
+		{Inst{Op: SHLI, Imm: 3}, 1, 0, 8},
+		{Inst{Op: SHRI, Imm: 3}, 8, 0, 1},
+		{Inst{Op: MULI, Imm: 10}, 7, 0, 70},
+		{Inst{Op: SLTI, Imm: 0}, ^uint64(0), 0, 1},
+		{Inst{Op: SLTUI, Imm: 5}, 3, 0, 1},
+		{Inst{Op: LI, Imm: -7}, 0, 0, ^uint64(6)},
+	}
+	for _, tt := range tests {
+		if got := EvalALU(tt.in, tt.a, tt.b); got != tt.want {
+			t.Errorf("EvalALU(%v, %d, %d) = %d, want %d", tt.in.Op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestEvalALUPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalALU(BR) did not panic")
+		}
+	}()
+	EvalALU(Inst{Op: BR}, 0, 0)
+}
+
+func TestInstPredicates(t *testing.T) {
+	tests := []struct {
+		in                                   Inst
+		dst, u1, u2, br, ctl, ind, call, mem bool
+	}{
+		{Inst{Op: ADD}, true, true, true, false, false, false, false, false},
+		{Inst{Op: ADDI}, true, true, false, false, false, false, false, false},
+		{Inst{Op: LI}, true, false, false, false, false, false, false, false},
+		{Inst{Op: LD}, true, true, false, false, false, false, false, true},
+		{Inst{Op: ST}, false, true, true, false, false, false, false, true},
+		{Inst{Op: BR}, false, true, true, true, true, false, false, false},
+		{Inst{Op: JMP}, false, false, false, false, true, false, false, false},
+		{Inst{Op: JR}, false, true, false, false, true, true, false, false},
+		{Inst{Op: CALL}, true, false, false, false, true, false, true, false},
+		{Inst{Op: CALLR}, true, true, false, false, true, true, true, false},
+		{Inst{Op: RET}, false, true, false, false, true, true, false, false},
+		{Inst{Op: HALT}, false, false, false, false, true, false, false, false},
+		{Inst{Op: NOP}, false, false, false, false, false, false, false, false},
+	}
+	for _, tt := range tests {
+		in := tt.in
+		if in.HasDst() != tt.dst {
+			t.Errorf("%v.HasDst() = %v", in.Op, in.HasDst())
+		}
+		if in.Uses1() != tt.u1 {
+			t.Errorf("%v.Uses1() = %v", in.Op, in.Uses1())
+		}
+		if in.Uses2() != tt.u2 {
+			t.Errorf("%v.Uses2() = %v", in.Op, in.Uses2())
+		}
+		if in.IsBranch() != tt.br {
+			t.Errorf("%v.IsBranch() = %v", in.Op, in.IsBranch())
+		}
+		if in.IsControl() != tt.ctl {
+			t.Errorf("%v.IsControl() = %v", in.Op, in.IsControl())
+		}
+		if in.IsIndirect() != tt.ind {
+			t.Errorf("%v.IsIndirect() = %v", in.Op, in.IsIndirect())
+		}
+		if in.IsCall() != tt.call {
+			t.Errorf("%v.IsCall() = %v", in.Op, in.IsCall())
+		}
+		if in.IsMem() != tt.mem {
+			t.Errorf("%v.IsMem() = %v", in.Op, in.IsMem())
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	if (Inst{Op: ADD}).Latency() != 1 {
+		t.Error("ADD latency != 1")
+	}
+	if (Inst{Op: MUL}).Latency() != 4 {
+		t.Error("MUL latency != 4")
+	}
+	if (Inst{Op: MULI}).Latency() != 4 {
+		t.Error("MULI latency != 4")
+	}
+	if (Inst{Op: DIV}).Latency() != 20 {
+		t.Error("DIV latency != 20")
+	}
+}
+
+func TestStringRoundTripish(t *testing.T) {
+	// Spot-check disassembly formats.
+	cases := map[string]Inst{
+		"add r1, r2, r3":   {Op: ADD, Dst: 1, Src1: 2, Src2: 3},
+		"addi r1, r2, -5":  {Op: ADDI, Dst: 1, Src1: 2, Imm: -5},
+		"li r4, 42":        {Op: LI, Dst: 4, Imm: 42},
+		"ld r1, 8(r2)":     {Op: LD, Dst: 1, Src1: 2, Imm: 8},
+		"st r3, 0(r2)":     {Op: ST, Src1: 2, Src2: 3},
+		"br.lt r1, r2, 99": {Op: BR, Cond: LT, Src1: 1, Src2: 2, Target: 99},
+		"jmp 7":            {Op: JMP, Target: 7},
+		"jr r5":            {Op: JR, Src1: 5},
+		"call 12, lr":      {Op: CALL, Dst: LR, Target: 12},
+		"callr r5, lr":     {Op: CALLR, Dst: LR, Src1: 5},
+		"ret lr":           {Op: RET, Src1: LR},
+		"halt":             {Op: HALT},
+		"nop":              {},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if !ADD.Valid() || !HALT.Valid() {
+		t.Error("defined ops reported invalid")
+	}
+	if Op(200).Valid() {
+		t.Error("Op(200) reported valid")
+	}
+	if numOps.Valid() {
+		t.Error("numOps reported valid")
+	}
+}
+
+func TestIsUncondDirect(t *testing.T) {
+	if !(Inst{Op: JMP}).IsUncondDirect() || !(Inst{Op: CALL}).IsUncondDirect() {
+		t.Error("JMP/CALL should be unconditional direct")
+	}
+	if (Inst{Op: BR}).IsUncondDirect() || (Inst{Op: JR}).IsUncondDirect() {
+		t.Error("BR/JR should not be unconditional direct")
+	}
+}
+
+func TestEvalALUShiftPropertyQuick(t *testing.T) {
+	f := func(a uint64, s uint8) bool {
+		sh := uint64(s) & 63
+		l := EvalALU(Inst{Op: SHL}, a, uint64(s))
+		r := EvalALU(Inst{Op: SHR}, a, uint64(s))
+		return l == a<<sh && r == a>>sh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalALUAddSubInverseQuick(t *testing.T) {
+	f := func(a, b uint64) bool {
+		sum := EvalALU(Inst{Op: ADD}, a, b)
+		return EvalALU(Inst{Op: SUB}, sum, b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,378 @@
+// Package profile implements the compiler side of the diverge-merge
+// processor: profiling runs over the functional emulator that select
+// diverge branches and their control-flow merge (CFM) points, following
+// the heuristics of Section 3.2 of the paper:
+//
+//   - a branch is a diverge-branch candidate if it accounts for at least
+//     0.1% of all mispredictions in the profiling run;
+//   - a CFM point must appear on both the taken and the not-taken path of
+//     the branch for at least 20% of its dynamic instances;
+//   - a CFM point must lie within 120 dynamic instructions of the branch;
+//   - the most frequent qualifying CFM point is marked for the basic
+//     mechanism; all qualifying points are kept for the multiple-CFM-point
+//     enhancement (Section 2.7.1);
+//   - a per-branch early-exit threshold is derived from the observed
+//     dynamic distance to the CFM point (Section 2.7.2).
+//
+// Profiling must use a different input from measurement (the paper uses
+// the train input set); workloads expose distinct seeds for this.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"dmp/internal/bpred"
+	"dmp/internal/emu"
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+// Options tunes the selection heuristics. The zero value is *not* valid;
+// use DefaultOptions.
+type Options struct {
+	// MaxInsts bounds the profiling run (0 = run to completion).
+	MaxInsts uint64
+	// MispredictShare is the minimum share of total mispredictions for a
+	// branch to become a candidate (paper: 0.001).
+	MispredictShare float64
+	// ReconvergeFrac is the minimum fraction of dynamic instances, on
+	// each path, in which a CFM point must appear (paper: 0.2).
+	ReconvergeFrac float64
+	// MaxDist is the maximum dynamic-instruction distance from the branch
+	// to a CFM point (paper: 120).
+	MaxDist int
+	// MaxCFMs caps how many CFM points are recorded per branch for the
+	// multiple-CFM enhancement.
+	MaxCFMs int
+	// SamplesPerBranch caps how many dynamic instances per (branch,
+	// direction) feed the reconvergence analysis, for profiling speed.
+	SamplesPerBranch int
+	// IncludeLoops marks backward (loop) diverge branches too (Section
+	// 2.7.4 future work). When false, backward branches are classified
+	// but not marked.
+	IncludeLoops bool
+	// UsePostDom selects the immediate post-dominator as the CFM point
+	// instead of the frequently-executed-path point (ablation: this is
+	// what DMP argues *against*, since the post-dominator is often much
+	// farther than the frequent-path merge point).
+	UsePostDom bool
+	// Predictor used to attribute mispredictions during profiling; nil
+	// selects a fresh default perceptron.
+	Predictor bpred.DirPredictor
+}
+
+// DefaultOptions returns the paper's heuristics.
+func DefaultOptions() Options {
+	return Options{
+		MispredictShare:  0.001,
+		ReconvergeFrac:   0.2,
+		MaxDist:          120,
+		MaxCFMs:          4,
+		SamplesPerBranch: 2000,
+	}
+}
+
+// BranchStat summarises one static branch over the profiling run.
+type BranchStat struct {
+	PC          uint64
+	Execs       uint64
+	Taken       uint64
+	Mispredicts uint64
+	Class       prog.BranchClass
+	// Marked reports whether the branch was annotated as a diverge branch.
+	Marked bool
+	// CFMs are the selected merge points (empty if none qualified).
+	CFMs []uint64
+	// AvgDist is the mean dynamic distance to the primary CFM point.
+	AvgDist float64
+}
+
+// Report is the result of a profiling pass.
+type Report struct {
+	TotalInsts       uint64
+	TotalBranches    uint64
+	TotalMispredicts uint64
+	Branches         []BranchStat // sorted by descending mispredicts
+}
+
+// String renders the report as a table.
+func (r *Report) String() string {
+	s := fmt.Sprintf("insts=%d branches=%d mispredicts=%d (%.2f%% missrate)\n",
+		r.TotalInsts, r.TotalBranches, r.TotalMispredicts,
+		100*float64(r.TotalMispredicts)/float64(max64(r.TotalBranches, 1)))
+	s += fmt.Sprintf("%8s %10s %10s %10s %-16s %6s %8s %s\n",
+		"pc", "execs", "taken", "misp", "class", "marked", "avgdist", "cfms")
+	for _, b := range r.Branches {
+		s += fmt.Sprintf("%8d %10d %10d %10d %-16s %6v %8.1f %v\n",
+			b.PC, b.Execs, b.Taken, b.Mispredicts, b.Class, b.Marked, b.AvgDist, b.CFMs)
+	}
+	return s
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Run profiles p and annotates it in place with diverge-branch marks.
+// It returns the report. The pass is deterministic.
+func Run(p *prog.Program, opts Options) (*Report, error) {
+	if opts.MaxDist <= 0 || opts.ReconvergeFrac <= 0 {
+		return nil, fmt.Errorf("profile: invalid options (use DefaultOptions)")
+	}
+	pred := opts.Predictor
+	if pred == nil {
+		pred = bpred.NewPerceptron(bpred.DefaultPerceptronConfig())
+	}
+
+	// Pass 1: misprediction attribution and the full PC trace.
+	type bstat struct {
+		execs, taken, misp uint64
+	}
+	stats := map[uint64]*bstat{}
+	var trace []uint64
+	var depth []int32 // call depth at which each traced instruction ran
+	type instance struct {
+		branchPC uint64
+		taken    bool
+		index    int // position in trace of the instruction *after* the branch
+	}
+	var instances []instance
+
+	e := emu.New(p)
+	var hist bpred.GHR
+	var totalBr, totalMisp uint64
+	var curDepth int32
+	err := e.RunFunc(opts.MaxInsts, func(s emu.Step) bool {
+		trace = append(trace, s.PC)
+		depth = append(depth, curDepth)
+		switch s.Inst.Op {
+		case isa.CALL, isa.CALLR:
+			curDepth++
+		case isa.RET:
+			curDepth--
+		}
+		if s.Inst.Op == isa.BR {
+			st := stats[s.PC]
+			if st == nil {
+				st = &bstat{}
+				stats[s.PC] = st
+			}
+			st.execs++
+			totalBr++
+			if s.Taken {
+				st.taken++
+			}
+			predicted := pred.Predict(s.PC, hist)
+			pred.Update(s.PC, hist, s.Taken)
+			if predicted != s.Taken {
+				st.misp++
+				totalMisp++
+			}
+			hist = hist.Push(s.Taken)
+			instances = append(instances, instance{s.PC, s.Taken, len(trace)})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("profile: emulation failed: %w", err)
+	}
+
+	// Candidates by misprediction share.
+	candidates := map[uint64]bool{}
+	for pc, st := range stats {
+		if totalMisp > 0 && float64(st.misp) >= opts.MispredictShare*float64(totalMisp) && st.misp > 0 {
+			candidates[pc] = true
+		}
+	}
+
+	// Pass 2 (over the recorded trace): reconvergence analysis.
+	cands := map[uint64]*candData{}
+	for pc := range candidates {
+		cands[pc] = &candData{points: map[uint64]*cfmStat{}}
+	}
+	seen := map[uint64]int{} // pc -> instance serial, reused per window
+	serial := 0
+	for _, inst := range instances {
+		cd := cands[inst.branchPC]
+		if cd == nil {
+			continue
+		}
+		if inst.taken {
+			if cd.takenSamples >= uint64(opts.SamplesPerBranch) {
+				continue
+			}
+			cd.takenSamples++
+		} else {
+			if cd.ntSamples >= uint64(opts.SamplesPerBranch) {
+				continue
+			}
+			cd.ntSamples++
+		}
+		serial++
+		end := inst.index + opts.MaxDist
+		if end > len(trace) {
+			end = len(trace)
+		}
+		branchDepth := depth[inst.index-1]
+		for i := inst.index; i < end; i++ {
+			// A control-flow merge point must sit at the branch's own
+			// call depth: a PC inside a callee (or in a caller frame)
+			// only appears "on both paths" through unrelated dynamic
+			// call instances, and predicating up to it drags whole call
+			// bodies into the dynamically predicated region.
+			if depth[i] != branchDepth {
+				continue
+			}
+			pc := trace[i]
+			if seen[pc] == serial {
+				continue // only the first occurrence in this window counts
+			}
+			seen[pc] = serial
+			cs := cd.points[pc]
+			if cs == nil {
+				cs = &cfmStat{}
+				cd.points[pc] = cs
+			}
+			dist := uint64(i - inst.index + 1)
+			if inst.taken {
+				cs.takenHits++
+			} else {
+				cs.ntHits++
+			}
+			cs.sumDist += dist
+		}
+	}
+
+	// Selection.
+	cfg := prog.BuildCFG(p)
+	p.ClearDiverge()
+	report := &Report{TotalInsts: e.Count, TotalBranches: totalBr, TotalMispredicts: totalMisp}
+
+	for pc, st := range stats {
+		bs := BranchStat{PC: pc, Execs: st.execs, Taken: st.taken, Mispredicts: st.misp}
+		if cd := cands[pc]; cd != nil {
+			cfms, avgDist := selectCFMs(cfg, pc, cd, opts)
+			if len(cfms) > 0 {
+				bs.CFMs, bs.AvgDist = cfms, avgDist
+				if _, isSimple := cfg.SimpleHammockJoin(pc); isSimple {
+					bs.Class = prog.ClassSimpleHammock
+				} else {
+					bs.Class = prog.ClassComplexDiverge
+				}
+				isLoop := p.Code[pc].Target <= pc
+				if !isLoop || opts.IncludeLoops {
+					thr := int(avgDist*1.5) + 8
+					if thr > opts.MaxDist {
+						thr = opts.MaxDist
+					}
+					p.MarkDiverge(pc, &prog.Diverge{
+						CFMs:          cfms,
+						Class:         bs.Class,
+						ExitThreshold: thr,
+						Loop:          isLoop,
+					})
+					bs.Marked = true
+				}
+			}
+		}
+		report.Branches = append(report.Branches, bs)
+	}
+	sort.Slice(report.Branches, func(i, j int) bool {
+		if report.Branches[i].Mispredicts != report.Branches[j].Mispredicts {
+			return report.Branches[i].Mispredicts > report.Branches[j].Mispredicts
+		}
+		return report.Branches[i].PC < report.Branches[j].PC
+	})
+	return report, nil
+}
+
+// cfmStat accumulates per-CFM-candidate appearance counts.
+type cfmStat struct {
+	takenHits, ntHits uint64
+	sumDist           uint64
+}
+
+// candData accumulates reconvergence data for one candidate branch.
+type candData struct {
+	takenSamples, ntSamples uint64
+	points                  map[uint64]*cfmStat
+}
+
+// selectCFMs picks the qualifying CFM points for one candidate branch:
+// PCs appearing on at least ReconvergeFrac of the sampled instances of
+// *both* directions, ranked by combined appearance frequency (ties broken
+// toward the nearer point). With UsePostDom, the immediate post-dominator
+// is used instead, modelling the conventional reconvergence-point choice
+// DMP improves upon.
+func selectCFMs(cfg *prog.CFG, branchPC uint64, cd *candData, opts Options) ([]uint64, float64) {
+	if opts.UsePostDom {
+		if pd, ok := cfg.IPostDom(branchPC); ok && pd != branchPC {
+			// Distance statistics still come from the dynamic profile if
+			// the point was observed; otherwise assume the max.
+			avg := float64(opts.MaxDist)
+			if cs := cd.points[pd]; cs != nil && cs.takenHits+cs.ntHits > 0 {
+				avg = float64(cs.sumDist) / float64(cs.takenHits+cs.ntHits)
+			}
+			return []uint64{pd}, avg
+		}
+		return nil, 0
+	}
+	if cd.takenSamples == 0 || cd.ntSamples == 0 {
+		// The branch essentially never goes one way in the profile; there
+		// is no "both paths" evidence, so it is not a diverge branch.
+		return nil, 0
+	}
+	type scored struct {
+		pc      uint64
+		minFrac float64
+		avgDist float64
+	}
+	var qual []scored
+	for pc, cs := range cd.points {
+		// The branch itself can never merge its own paths, and its
+		// fall-through is a degenerate "merge" that only appears on both
+		// paths through loop iteration carry: selecting it makes the
+		// dynamically predicated region span a whole loop body.
+		if pc == branchPC || pc == branchPC+1 {
+			continue
+		}
+		ft := float64(cs.takenHits) / float64(cd.takenSamples)
+		fn := float64(cs.ntHits) / float64(cd.ntSamples)
+		if ft < opts.ReconvergeFrac || fn < opts.ReconvergeFrac {
+			continue
+		}
+		minf := ft
+		if fn < ft {
+			minf = fn
+		}
+		qual = append(qual, scored{pc, minf, float64(cs.sumDist) / float64(cs.takenHits+cs.ntHits)})
+	}
+	if len(qual) == 0 {
+		return nil, 0
+	}
+	sort.Slice(qual, func(i, j int) bool {
+		if qual[i].minFrac != qual[j].minFrac {
+			return qual[i].minFrac > qual[j].minFrac
+		}
+		if qual[i].avgDist != qual[j].avgDist {
+			return qual[i].avgDist < qual[j].avgDist
+		}
+		return qual[i].pc < qual[j].pc
+	})
+	n := opts.MaxCFMs
+	if n <= 0 {
+		n = 1
+	}
+	if len(qual) > n {
+		qual = qual[:n]
+	}
+	cfms := make([]uint64, len(qual))
+	for i, q := range qual {
+		cfms[i] = q.pc
+	}
+	return cfms, qual[0].avgDist
+}

@@ -1,0 +1,235 @@
+package prog
+
+import (
+	"fmt"
+
+	"dmp/internal/isa"
+)
+
+// Builder assembles a Program through a label-based API. Branch and jump
+// targets are given as label names and resolved when Build is called, so
+// forward references are fine. Workload generators drive the Builder from
+// ordinary Go loops.
+type Builder struct {
+	p      *Program
+	fixups []fixup
+	built  bool
+}
+
+type fixup struct {
+	pc    uint64
+	label string
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{p: New()}
+}
+
+// Label defines a label at the current PC. Defining the same label twice
+// panics.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.p.Labels[name]; dup {
+		panic(fmt.Sprintf("prog: duplicate label %q", name))
+	}
+	b.p.Labels[name] = b.here()
+	return b
+}
+
+// Here returns the PC of the next instruction to be emitted.
+func (b *Builder) Here() uint64 { return b.here() }
+
+func (b *Builder) here() uint64 { return uint64(len(b.p.Code)) }
+
+func (b *Builder) emit(in isa.Inst) uint64 {
+	pc := b.here()
+	b.p.Code = append(b.p.Code, in)
+	return pc
+}
+
+func (b *Builder) emitTo(in isa.Inst, label string) uint64 {
+	pc := b.emit(in)
+	b.fixups = append(b.fixups, fixup{pc, label})
+	return pc
+}
+
+// --- ALU ---
+
+// Op3 emits a three-register ALU instruction.
+func (b *Builder) Op3(op isa.Op, d, s1, s2 isa.Reg) *Builder {
+	b.emit(isa.Inst{Op: op, Dst: d, Src1: s1, Src2: s2})
+	return b
+}
+
+// OpI emits a register-immediate ALU instruction.
+func (b *Builder) OpI(op isa.Op, d, s1 isa.Reg, imm int64) *Builder {
+	b.emit(isa.Inst{Op: op, Dst: d, Src1: s1, Imm: imm})
+	return b
+}
+
+func (b *Builder) Add(d, s1, s2 isa.Reg) *Builder  { return b.Op3(isa.ADD, d, s1, s2) }
+func (b *Builder) Sub(d, s1, s2 isa.Reg) *Builder  { return b.Op3(isa.SUB, d, s1, s2) }
+func (b *Builder) And(d, s1, s2 isa.Reg) *Builder  { return b.Op3(isa.AND, d, s1, s2) }
+func (b *Builder) Or(d, s1, s2 isa.Reg) *Builder   { return b.Op3(isa.OR, d, s1, s2) }
+func (b *Builder) Xor(d, s1, s2 isa.Reg) *Builder  { return b.Op3(isa.XOR, d, s1, s2) }
+func (b *Builder) Mul(d, s1, s2 isa.Reg) *Builder  { return b.Op3(isa.MUL, d, s1, s2) }
+func (b *Builder) Div(d, s1, s2 isa.Reg) *Builder  { return b.Op3(isa.DIV, d, s1, s2) }
+func (b *Builder) Shl(d, s1, s2 isa.Reg) *Builder  { return b.Op3(isa.SHL, d, s1, s2) }
+func (b *Builder) Shr(d, s1, s2 isa.Reg) *Builder  { return b.Op3(isa.SHR, d, s1, s2) }
+func (b *Builder) Slt(d, s1, s2 isa.Reg) *Builder  { return b.Op3(isa.SLT, d, s1, s2) }
+func (b *Builder) Sltu(d, s1, s2 isa.Reg) *Builder { return b.Op3(isa.SLTU, d, s1, s2) }
+
+func (b *Builder) Addi(d, s isa.Reg, imm int64) *Builder { return b.OpI(isa.ADDI, d, s, imm) }
+func (b *Builder) Subi(d, s isa.Reg, imm int64) *Builder { return b.OpI(isa.SUBI, d, s, imm) }
+func (b *Builder) Andi(d, s isa.Reg, imm int64) *Builder { return b.OpI(isa.ANDI, d, s, imm) }
+func (b *Builder) Ori(d, s isa.Reg, imm int64) *Builder  { return b.OpI(isa.ORI, d, s, imm) }
+func (b *Builder) Xori(d, s isa.Reg, imm int64) *Builder { return b.OpI(isa.XORI, d, s, imm) }
+func (b *Builder) Shli(d, s isa.Reg, imm int64) *Builder { return b.OpI(isa.SHLI, d, s, imm) }
+func (b *Builder) Shri(d, s isa.Reg, imm int64) *Builder { return b.OpI(isa.SHRI, d, s, imm) }
+func (b *Builder) Muli(d, s isa.Reg, imm int64) *Builder { return b.OpI(isa.MULI, d, s, imm) }
+func (b *Builder) Slti(d, s isa.Reg, imm int64) *Builder { return b.OpI(isa.SLTI, d, s, imm) }
+
+// Li loads a 64-bit immediate.
+func (b *Builder) Li(d isa.Reg, imm int64) *Builder {
+	b.emit(isa.Inst{Op: isa.LI, Dst: d, Imm: imm})
+	return b
+}
+
+// Mov copies a register (encoded as ADDI d, s, 0).
+func (b *Builder) Mov(d, s isa.Reg) *Builder { return b.Addi(d, s, 0) }
+
+// --- memory ---
+
+// Ld emits a load: d = mem[base+disp].
+func (b *Builder) Ld(d, base isa.Reg, disp int64) *Builder {
+	b.emit(isa.Inst{Op: isa.LD, Dst: d, Src1: base, Imm: disp})
+	return b
+}
+
+// St emits a store: mem[base+disp] = src.
+func (b *Builder) St(src, base isa.Reg, disp int64) *Builder {
+	b.emit(isa.Inst{Op: isa.ST, Src1: base, Src2: src, Imm: disp})
+	return b
+}
+
+// --- control ---
+
+// Br emits a conditional branch to a label. It returns the branch PC so
+// tests can refer to it.
+func (b *Builder) Br(c isa.Cond, s1, s2 isa.Reg, label string) uint64 {
+	return b.emitTo(isa.Inst{Op: isa.BR, Cond: c, Src1: s1, Src2: s2}, label)
+}
+
+// Brz branches to label if s is zero (compares against the zero register).
+func (b *Builder) Brz(s isa.Reg, label string) uint64 {
+	return b.Br(isa.EQ, s, isa.Zero, label)
+}
+
+// Brnz branches to label if s is non-zero.
+func (b *Builder) Brnz(s isa.Reg, label string) uint64 {
+	return b.Br(isa.NE, s, isa.Zero, label)
+}
+
+// Jmp emits an unconditional jump to a label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.emitTo(isa.Inst{Op: isa.JMP}, label)
+	return b
+}
+
+// Jr emits an indirect jump through a register.
+func (b *Builder) Jr(s isa.Reg) *Builder {
+	b.emit(isa.Inst{Op: isa.JR, Src1: s})
+	return b
+}
+
+// Call emits a direct call to a label, linking into LR.
+func (b *Builder) Call(label string) *Builder {
+	b.emitTo(isa.Inst{Op: isa.CALL, Dst: isa.LR}, label)
+	return b
+}
+
+// Callr emits an indirect call through a register, linking into LR.
+func (b *Builder) Callr(s isa.Reg) *Builder {
+	b.emit(isa.Inst{Op: isa.CALLR, Dst: isa.LR, Src1: s})
+	return b
+}
+
+// Ret emits a return through LR.
+func (b *Builder) Ret() *Builder {
+	b.emit(isa.Inst{Op: isa.RET, Src1: isa.LR})
+	return b
+}
+
+// RetVia emits a return through an arbitrary register.
+func (b *Builder) RetVia(s isa.Reg) *Builder {
+	b.emit(isa.Inst{Op: isa.RET, Src1: s})
+	return b
+}
+
+// Nop emits a NOP.
+func (b *Builder) Nop() *Builder {
+	b.emit(isa.Inst{Op: isa.NOP})
+	return b
+}
+
+// Halt emits a HALT.
+func (b *Builder) Halt() *Builder {
+	b.emit(isa.Inst{Op: isa.HALT})
+	return b
+}
+
+// --- data ---
+
+// Word sets an initial data-memory word.
+func (b *Builder) Word(addr, val uint64) *Builder {
+	b.p.SetWord(addr, val)
+	return b
+}
+
+// Words lays out consecutive 8-byte words starting at addr.
+func (b *Builder) Words(addr uint64, vals ...uint64) *Builder {
+	for i, v := range vals {
+		b.p.SetWord(addr+uint64(i)*8, v)
+	}
+	return b
+}
+
+// Entry sets the entry label (default: PC 0).
+func (b *Builder) Entry(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{^uint64(0), label})
+	return b
+}
+
+// Build resolves all label references and returns the finished program.
+// It panics on undefined labels and returns Validate's error, since a
+// malformed program is a bug in the generator, not a runtime condition.
+func (b *Builder) Build() (*Program, error) {
+	if b.built {
+		panic("prog: Build called twice")
+	}
+	b.built = true
+	for _, f := range b.fixups {
+		pc, ok := b.p.Labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("prog: undefined label %q", f.label))
+		}
+		if f.pc == ^uint64(0) {
+			b.p.Entry = pc
+			continue
+		}
+		b.p.Code[f.pc].Target = pc
+	}
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,143 @@
+package prog
+
+import (
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+// TestBuilderFullOpCoverage drives every Builder emitter and checks the
+// encoded instructions field by field.
+func TestBuilderFullOpCoverage(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.Add(1, 2, 3)
+	b.Sub(1, 2, 3)
+	b.And(1, 2, 3)
+	b.Or(1, 2, 3)
+	b.Xor(1, 2, 3)
+	b.Mul(1, 2, 3)
+	b.Div(1, 2, 3)
+	b.Shl(1, 2, 3)
+	b.Shr(1, 2, 3)
+	b.Slt(1, 2, 3)
+	b.Sltu(1, 2, 3)
+	b.Addi(1, 2, -7)
+	b.Subi(1, 2, 7)
+	b.Andi(1, 2, 7)
+	b.Ori(1, 2, 7)
+	b.Xori(1, 2, 7)
+	b.Shli(1, 2, 7)
+	b.Shri(1, 2, 7)
+	b.Muli(1, 2, 7)
+	b.Slti(1, 2, 7)
+	b.Li(4, 1<<40)
+	b.Mov(5, 6)
+	b.Ld(7, 8, 16)
+	b.St(9, 10, 24)
+	b.Brz(11, "start")
+	b.Brnz(12, "start")
+	b.Jr(13)
+	b.Callr(14)
+	b.RetVia(15)
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+
+	wantOps := []isa.Op{
+		isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.MUL, isa.DIV,
+		isa.SHL, isa.SHR, isa.SLT, isa.SLTU,
+		isa.ADDI, isa.SUBI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI,
+		isa.SHRI, isa.MULI, isa.SLTI,
+		isa.LI, isa.ADDI, // Mov encodes as ADDI d, s, 0
+		isa.LD, isa.ST,
+		isa.BR, isa.BR, isa.JR, isa.CALLR, isa.RET, isa.NOP, isa.HALT,
+	}
+	if p.Len() != len(wantOps) {
+		t.Fatalf("emitted %d insts, want %d", p.Len(), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if p.Code[i].Op != op {
+			t.Errorf("inst %d op = %v, want %v", i, p.Code[i].Op, op)
+		}
+	}
+	if mov := p.Code[21]; mov.Dst != 5 || mov.Src1 != 6 || mov.Imm != 0 {
+		t.Errorf("Mov encoding wrong: %v", mov)
+	}
+	if ld := p.Code[22]; ld.Dst != 7 || ld.Src1 != 8 || ld.Imm != 16 {
+		t.Errorf("Ld encoding wrong: %v", ld)
+	}
+	if st := p.Code[23]; st.Src2 != 9 || st.Src1 != 10 || st.Imm != 24 {
+		t.Errorf("St encoding wrong: %v", st)
+	}
+	if brz := p.Code[24]; brz.Cond != isa.EQ || brz.Src1 != 11 || brz.Src2 != isa.Zero {
+		t.Errorf("Brz encoding wrong: %v", brz)
+	}
+	if brnz := p.Code[25]; brnz.Cond != isa.NE || brnz.Src1 != 12 {
+		t.Errorf("Brnz encoding wrong: %v", brnz)
+	}
+	if ret := p.Code[28]; ret.Src1 != 15 {
+		t.Errorf("RetVia encoding wrong: %v", ret)
+	}
+	if li := p.Code[20]; li.Imm != 1<<40 {
+		t.Errorf("Li 64-bit immediate wrong: %v", li)
+	}
+}
+
+func TestBuilderHereTracksPC(t *testing.T) {
+	b := NewBuilder()
+	if b.Here() != 0 {
+		t.Error("fresh builder Here != 0")
+	}
+	b.Nop()
+	b.Nop()
+	if b.Here() != 2 {
+		t.Errorf("Here = %d, want 2", b.Here())
+	}
+	brPC := b.Brz(1, "end")
+	if brPC != 2 {
+		t.Errorf("Brz returned pc %d, want 2", brPC)
+	}
+	b.Label("end")
+	b.Halt()
+	b.MustBuild()
+}
+
+func TestBuilderCallLinksLR(t *testing.T) {
+	b := NewBuilder()
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret()
+	p := b.MustBuild()
+	if p.Code[0].Dst != isa.LR {
+		t.Errorf("Call links %v, want lr", p.Code[0].Dst)
+	}
+	if p.Code[2].Src1 != isa.LR {
+		t.Errorf("Ret reads %v, want lr", p.Code[2].Src1)
+	}
+	if p.Code[0].Target != p.PC("fn") {
+		t.Error("Call target not resolved")
+	}
+}
+
+func TestCFGIPostDomOutOfRange(t *testing.T) {
+	p := MustAssemble("nop\nhalt")
+	c := BuildCFG(p)
+	if _, ok := c.IPostDom(999); ok {
+		t.Error("IPostDom out of range returned ok")
+	}
+	// The HALT block has no post-dominator.
+	if _, ok := c.IPostDom(1); ok {
+		t.Error("exit block reported a post-dominator")
+	}
+}
+
+func TestBlockLast(t *testing.T) {
+	p := MustAssemble("nop\nnop\nhalt")
+	c := BuildCFG(p)
+	b := c.Blocks[c.BlockOf(0)]
+	if b.Last() != b.End-1 {
+		t.Error("Block.Last inconsistent")
+	}
+}

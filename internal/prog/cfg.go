@@ -1,0 +1,343 @@
+package prog
+
+import (
+	"dmp/internal/isa"
+)
+
+// CFG is the static control-flow graph of a program, at basic-block
+// granularity. It backs the simple-hammock classifier (used to separate
+// DHP-eligible branches from complex diverge branches, Figure 6) and the
+// immediate-post-dominator CFM ablation.
+//
+// Control flow is treated intra-procedurally: a CALL has a fall-through
+// edge to its return point (the callee's effect on control flow is
+// invisible at this level), and RET, JR, CALLR and HALT terminate a block
+// with no static successors.
+type CFG struct {
+	prog   *Program
+	Blocks []Block
+	// blockOf maps every PC to the index of its containing block.
+	blockOf []int
+	// ipdom[i] is the immediate post-dominator block of block i, or -1.
+	ipdom []int
+}
+
+// Block is a basic block: instructions [Start, End), with static
+// successor block indices.
+type Block struct {
+	Start, End uint64
+	Succs      []int
+}
+
+// Last returns the PC of the block's final instruction.
+func (b Block) Last() uint64 { return b.End - 1 }
+
+// BuildCFG constructs the control-flow graph of p.
+func BuildCFG(p *Program) *CFG {
+	n := uint64(len(p.Code))
+	leader := make([]bool, n+1)
+	if n > 0 {
+		leader[p.Entry] = true
+		leader[0] = true
+	}
+	for pc := uint64(0); pc < n; pc++ {
+		in := p.Code[pc]
+		switch in.Op {
+		case isa.BR:
+			leader[in.Target] = true
+			if pc+1 <= n {
+				leader[pc+1] = true
+			}
+		case isa.JMP:
+			leader[in.Target] = true
+			if pc+1 <= n {
+				leader[pc+1] = true
+			}
+		case isa.CALL:
+			leader[in.Target] = true
+			if pc+1 <= n {
+				leader[pc+1] = true
+			}
+		case isa.JR, isa.CALLR, isa.RET, isa.HALT:
+			if pc+1 <= n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	// Labels are block leaders too: an indirect jump may target them.
+	for _, pc := range p.Labels {
+		if pc < n {
+			leader[pc] = true
+		}
+	}
+
+	c := &CFG{prog: p, blockOf: make([]int, n)}
+	start := uint64(0)
+	for pc := uint64(0); pc <= n; pc++ {
+		if pc == n || (pc > start && leader[pc]) {
+			c.Blocks = append(c.Blocks, Block{Start: start, End: pc})
+			start = pc
+		}
+		if pc == n {
+			break
+		}
+	}
+	for i, b := range c.Blocks {
+		for pc := b.Start; pc < b.End; pc++ {
+			c.blockOf[pc] = i
+		}
+	}
+	// Successor edges.
+	byStart := map[uint64]int{}
+	for i, b := range c.Blocks {
+		byStart[b.Start] = i
+	}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		last := c.prog.Code[b.Last()]
+		add := func(pc uint64) {
+			if j, ok := byStart[pc]; ok {
+				b.Succs = append(b.Succs, j)
+			}
+		}
+		switch last.Op {
+		case isa.BR:
+			add(b.End) // fall-through
+			add(last.Target)
+		case isa.JMP:
+			add(last.Target)
+		case isa.CALL, isa.CALLR:
+			// Intra-procedural view: the call returns to the next PC.
+			add(b.End)
+		case isa.JR, isa.RET, isa.HALT:
+			// No static successors.
+		default:
+			add(b.End)
+		}
+	}
+	c.computePostDominators()
+	return c
+}
+
+// BlockOf returns the index of the block containing pc, or -1 if pc is
+// outside the code image.
+func (c *CFG) BlockOf(pc uint64) int {
+	if pc >= uint64(len(c.blockOf)) {
+		return -1
+	}
+	return c.blockOf[pc]
+}
+
+// computePostDominators runs the standard iterative dominator algorithm
+// (Cooper/Harvey/Kennedy) on the reverse graph, with a virtual exit node
+// that succeeds every block with no static successors.
+func (c *CFG) computePostDominators() {
+	n := len(c.Blocks)
+	c.ipdom = make([]int, n)
+	for i := range c.ipdom {
+		c.ipdom[i] = -1
+	}
+	if n == 0 {
+		return
+	}
+
+	preds := make([][]int, n) // reverse-graph predecessors = forward succs
+	exits := []int{}
+	for i, b := range c.Blocks {
+		if len(b.Succs) == 0 {
+			exits = append(exits, i)
+		}
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	// Reverse post-order of the reverse graph, starting from exits.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	dfs = func(v int) {
+		seen[v] = true
+		for _, p := range preds[v] {
+			if !seen[p] {
+				dfs(p)
+			}
+		}
+		order = append(order, v)
+	}
+	for _, e := range exits {
+		if !seen[e] {
+			dfs(e)
+		}
+	}
+	// order is post-order of reverse graph traversal; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, v := range order {
+		rpoNum[v] = i
+	}
+
+	// Compute post-dominator sets iteratively with bitsets, then derive
+	// immediate post-dominators. Workload CFGs have at most a few
+	// thousand blocks, so O(n^2/64) per pass is fine.
+	words := (n + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		full[i/64] |= 1 << (i % 64)
+	}
+	pdom := make([][]uint64, n)
+	for i := range pdom {
+		pdom[i] = make([]uint64, words)
+		if len(c.Blocks[i].Succs) == 0 {
+			pdom[i][i/64] |= 1 << (i % 64)
+		} else {
+			copy(pdom[i], full)
+		}
+	}
+	changed := true
+	tmp := make([]uint64, words)
+	for changed {
+		changed = false
+		// Iterate in reverse-ish order for faster convergence.
+		for k := len(order) - 1; k >= 0; k-- {
+			i := order[k]
+			b := c.Blocks[i]
+			if len(b.Succs) == 0 {
+				continue
+			}
+			copy(tmp, full)
+			for _, s := range b.Succs {
+				for w := range tmp {
+					tmp[w] &= pdom[s][w]
+				}
+			}
+			tmp[i/64] |= 1 << (i % 64)
+			for w := range tmp {
+				if tmp[w] != pdom[i][w] {
+					changed = true
+				}
+				pdom[i][w] = tmp[w]
+			}
+		}
+	}
+	// Blocks never reaching an exit (e.g. infinite loops on paths the
+	// workloads never take) keep the full set; their ipdom stays -1.
+	has := func(set []uint64, j int) bool { return set[j/64]&(1<<(j%64)) != 0 }
+	for i := 0; i < n; i++ {
+		if rpoNum[i] == -1 {
+			continue // unreachable from any exit
+		}
+		// The immediate post-dominator is the *closest* strict
+		// post-dominator: the one that all the other strict
+		// post-dominators also post-dominate, i.e. the one whose own
+		// post-dominator set is largest.
+		best, bestSize := -1, -1
+		for j := 0; j < n; j++ {
+			if j == i || !has(pdom[i], j) {
+				continue
+			}
+			if rpoNum[j] == -1 {
+				continue // j itself never reaches an exit; ignore
+			}
+			size := 0
+			for w := range pdom[j] {
+				size += popcount(pdom[j][w])
+			}
+			if size > bestSize {
+				best, bestSize = j, size
+			}
+		}
+		c.ipdom[i] = best
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// IPostDom returns the PC of the first instruction of the immediate
+// post-dominator block of the branch at branchPC, and whether one exists.
+func (c *CFG) IPostDom(branchPC uint64) (uint64, bool) {
+	bi := c.BlockOf(branchPC)
+	if bi < 0 || c.ipdom[bi] < 0 {
+		return 0, false
+	}
+	return c.Blocks[c.ipdom[bi]].Start, true
+}
+
+// SimpleHammockJoin reports whether the conditional branch at branchPC
+// forms a simple hammock — an if or if-else structure with no other
+// control flow inside (the only shape Dynamic Hammock Predication
+// handles) — and returns the join PC if so.
+func (c *CFG) SimpleHammockJoin(branchPC uint64) (uint64, bool) {
+	if branchPC >= uint64(len(c.prog.Code)) || c.prog.Code[branchPC].Op != isa.BR {
+		return 0, false
+	}
+	br := c.prog.Code[branchPC]
+	ft := branchPC + 1 // fall-through PC
+	tk := br.Target    // taken PC
+	if tk == ft {
+		return 0, false
+	}
+
+	// Pattern 1 — simple if (no else): the branch skips a single plain
+	// block. Either the taken target is the join and the fall-through
+	// block runs straight (or jumps) into it, or symmetrically the
+	// fall-through...: with our forward-if encoding the body is always the
+	// fall-through side and the taken target is the join.
+	if end, ok := c.plainBlockReaches(ft, tk); ok {
+		_ = end
+		return tk, true
+	}
+
+	// Pattern 2 — simple if-else: both sides are single plain blocks that
+	// converge at a common join.
+	ftJoin, okF := c.plainBlockJoin(ft)
+	tkJoin, okT := c.plainBlockJoin(tk)
+	if okF && okT && ftJoin == tkJoin {
+		return ftJoin, true
+	}
+	return 0, false
+}
+
+// plainBlockReaches reports whether the block starting at start contains
+// no control flow other than an optional final JMP, and either falls
+// through to join or ends with JMP join.
+func (c *CFG) plainBlockReaches(start, join uint64) (uint64, bool) {
+	end, ok := c.plainBlockJoin(start)
+	return end, ok && end == join
+}
+
+// plainBlockJoin inspects the basic block starting at start. If the
+// block contains no control flow other than an optional final JMP, it
+// returns the PC the block flows to (fall-through successor or direct
+// jump target).
+func (c *CFG) plainBlockJoin(start uint64) (uint64, bool) {
+	const maxBody = 64 // a "simple" hammock body is short by definition
+	bi := c.BlockOf(start)
+	if bi < 0 {
+		return 0, false
+	}
+	b := c.Blocks[bi]
+	if b.Start != start || b.End-b.Start > maxBody {
+		return 0, false
+	}
+	last := c.prog.Code[b.Last()]
+	switch last.Op {
+	case isa.JMP:
+		return last.Target, true
+	case isa.BR, isa.CALL, isa.CALLR, isa.JR, isa.RET, isa.HALT:
+		return 0, false
+	default:
+		return b.End, true // falls through into the next block
+	}
+}

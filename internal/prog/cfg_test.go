@@ -1,0 +1,204 @@
+package prog
+
+import (
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+// ifElseProg builds: br -> then/else -> join -> halt (simple if-else).
+func ifElseProg(t *testing.T) (*Program, uint64) {
+	t.Helper()
+	b := NewBuilder()
+	b.Li(1, 1)
+	br := b.Br(isa.NE, 1, isa.Zero, "then")
+	// else side
+	b.Li(2, 100)
+	b.Jmp("join")
+	b.Label("then")
+	b.Li(2, 200)
+	b.Label("join")
+	b.Add(3, 2, 2)
+	b.Halt()
+	return b.MustBuild(), br
+}
+
+func TestSimpleHammockIfElse(t *testing.T) {
+	p, br := ifElseProg(t)
+	c := BuildCFG(p)
+	join, ok := c.SimpleHammockJoin(br)
+	if !ok {
+		t.Fatal("if-else not detected as simple hammock")
+	}
+	if join != p.PC("join") {
+		t.Errorf("join = %d, want %d", join, p.PC("join"))
+	}
+}
+
+func TestSimpleHammockIfOnly(t *testing.T) {
+	// br skips a plain body: if (!cond) { body }; join = taken target.
+	b := NewBuilder()
+	b.Li(1, 1)
+	br := b.Br(isa.EQ, 1, isa.Zero, "join")
+	b.Li(2, 5) // body
+	b.Li(3, 6)
+	b.Label("join")
+	b.Halt()
+	p := b.MustBuild()
+	c := BuildCFG(p)
+	join, ok := c.SimpleHammockJoin(br)
+	if !ok || join != p.PC("join") {
+		t.Errorf("if-only: ok=%v join=%d want %d", ok, join, p.PC("join"))
+	}
+}
+
+func TestNotSimpleHammockWithInnerBranch(t *testing.T) {
+	// The body contains another branch: complex, not a simple hammock.
+	b := NewBuilder()
+	b.Li(1, 1)
+	br := b.Br(isa.EQ, 1, isa.Zero, "join")
+	b.Br(isa.NE, 2, isa.Zero, "join") // inner control flow
+	b.Li(2, 5)
+	b.Label("join")
+	b.Halt()
+	p := b.MustBuild()
+	c := BuildCFG(p)
+	if _, ok := c.SimpleHammockJoin(br); ok {
+		t.Error("branch with inner control flow detected as simple hammock")
+	}
+}
+
+func TestNotSimpleHammockWithCallInside(t *testing.T) {
+	b := NewBuilder()
+	b.Li(1, 1)
+	br := b.Br(isa.EQ, 1, isa.Zero, "join")
+	b.Call("fn")
+	b.Label("join")
+	b.Halt()
+	b.Label("fn")
+	b.Ret()
+	p := b.MustBuild()
+	c := BuildCFG(p)
+	if _, ok := c.SimpleHammockJoin(br); ok {
+		t.Error("hammock containing a call detected as simple")
+	}
+}
+
+func TestSimpleHammockOnNonBranch(t *testing.T) {
+	p := MustAssemble("nop\nhalt")
+	c := BuildCFG(p)
+	if _, ok := c.SimpleHammockJoin(0); ok {
+		t.Error("NOP detected as hammock")
+	}
+	if _, ok := c.SimpleHammockJoin(999); ok {
+		t.Error("out-of-range PC detected as hammock")
+	}
+}
+
+func TestIPostDomIfElse(t *testing.T) {
+	p, br := ifElseProg(t)
+	c := BuildCFG(p)
+	ipd, ok := c.IPostDom(br)
+	if !ok {
+		t.Fatal("no ipostdom for if-else branch")
+	}
+	if ipd != p.PC("join") {
+		t.Errorf("ipostdom = %d, want %d (join)", ipd, p.PC("join"))
+	}
+}
+
+func TestIPostDomNestedDiamond(t *testing.T) {
+	// Outer diamond containing an inner diamond on one side; the outer
+	// branch's immediate post-dominator is the outer join.
+	b := NewBuilder()
+	outer := b.Br(isa.NE, 1, isa.Zero, "oright")
+	// left side has an inner diamond
+	b.Br(isa.NE, 2, isa.Zero, "iright")
+	b.Li(3, 1)
+	b.Jmp("ijoin")
+	b.Label("iright")
+	b.Li(3, 2)
+	b.Label("ijoin")
+	b.Jmp("ojoin")
+	b.Label("oright")
+	b.Li(3, 3)
+	b.Label("ojoin")
+	b.Halt()
+	p := b.MustBuild()
+	c := BuildCFG(p)
+	ipd, ok := c.IPostDom(outer)
+	if !ok || ipd != p.PC("ojoin") {
+		t.Errorf("outer ipostdom = %d ok=%v, want %d", ipd, ok, p.PC("ojoin"))
+	}
+	inner := uint64(1)
+	ipd2, ok2 := c.IPostDom(inner)
+	if !ok2 || ipd2 != p.PC("ijoin") {
+		t.Errorf("inner ipostdom = %d ok=%v, want %d", ipd2, ok2, p.PC("ijoin"))
+	}
+}
+
+func TestIPostDomLoop(t *testing.T) {
+	// Loop back-branch: the ipostdom of the loop branch is the loop exit.
+	b := NewBuilder()
+	b.Li(1, 10)
+	b.Label("loop")
+	b.Subi(1, 1, 1)
+	br := b.Br(isa.GT, 1, isa.Zero, "loop")
+	b.Label("exit")
+	b.Halt()
+	p := b.MustBuild()
+	c := BuildCFG(p)
+	ipd, ok := c.IPostDom(br)
+	if !ok || ipd != p.PC("exit") {
+		t.Errorf("loop ipostdom = %d ok=%v, want %d", ipd, ok, p.PC("exit"))
+	}
+}
+
+func TestBlockPartition(t *testing.T) {
+	p, br := ifElseProg(t)
+	c := BuildCFG(p)
+	// Every PC belongs to exactly one block covering it.
+	for pc := uint64(0); pc < uint64(p.Len()); pc++ {
+		bi := c.BlockOf(pc)
+		if bi < 0 {
+			t.Fatalf("pc %d has no block", pc)
+		}
+		blk := c.Blocks[bi]
+		if pc < blk.Start || pc >= blk.End {
+			t.Errorf("pc %d mapped to block [%d,%d)", pc, blk.Start, blk.End)
+		}
+	}
+	// The branch ends its block.
+	bb := c.Blocks[c.BlockOf(br)]
+	if bb.Last() != br {
+		t.Errorf("branch not at block end: block [%d,%d), br=%d", bb.Start, bb.End, br)
+	}
+	// Branch block has two successors.
+	if len(bb.Succs) != 2 {
+		t.Errorf("branch block succs = %d, want 2", len(bb.Succs))
+	}
+	if c.BlockOf(9999) != -1 {
+		t.Error("BlockOf out of range != -1")
+	}
+}
+
+func TestCFGCallHasFallthroughEdge(t *testing.T) {
+	b := NewBuilder()
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret()
+	p := b.MustBuild()
+	c := BuildCFG(p)
+	callBlk := c.Blocks[c.BlockOf(0)]
+	if len(callBlk.Succs) != 1 {
+		t.Fatalf("call block succs = %v, want 1 (fall-through)", callBlk.Succs)
+	}
+	if c.Blocks[callBlk.Succs[0]].Start != 1 {
+		t.Errorf("call successor starts at %d, want 1", c.Blocks[callBlk.Succs[0]].Start)
+	}
+	retBlk := c.Blocks[c.BlockOf(p.PC("fn"))]
+	if len(retBlk.Succs) != 0 {
+		t.Errorf("ret block succs = %v, want none", retBlk.Succs)
+	}
+}

@@ -1,0 +1,197 @@
+// Package prog represents programs for the DMP simulator: the instruction
+// image, initial data memory, and the compiler-provided annotations that
+// drive dynamic predication (diverge branches and their control-flow merge
+// points, Section 2 of the paper).
+//
+// Programs are constructed either with the Builder (a label-based
+// assembler API used by the synthetic workloads) or parsed from assembly
+// text with Assemble. Static control-flow analysis (basic blocks,
+// dominators, simple-hammock detection) lives in cfg.go.
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"dmp/internal/isa"
+)
+
+// BranchClass classifies a conditional branch for Figure 6 of the paper.
+type BranchClass uint8
+
+const (
+	// ClassOther is a branch that is neither kind of diverge branch
+	// ("other complex" in the paper): no suitable CFM point was found.
+	ClassOther BranchClass = iota
+	// ClassSimpleHammock is a diverge branch whose control flow is a
+	// simple if or if-else with no other control flow inside. These are
+	// the only branches Dynamic Hammock Predication can handle.
+	ClassSimpleHammock
+	// ClassComplexDiverge is a diverge branch with complex control flow
+	// between the branch and its CFM point.
+	ClassComplexDiverge
+)
+
+func (c BranchClass) String() string {
+	switch c {
+	case ClassSimpleHammock:
+		return "simple-hammock"
+	case ClassComplexDiverge:
+		return "complex-diverge"
+	default:
+		return "other"
+	}
+}
+
+// Diverge is the compiler annotation attached to a diverge branch: the
+// control-flow merge points selected from frequently executed paths, the
+// branch class, and the compiler-selected early-exit threshold (Section
+// 2.7.2: the number of alternate-path instructions to fetch before giving
+// up on reaching the CFM point).
+type Diverge struct {
+	// CFMs lists candidate control-flow merge points, most frequent
+	// first. The basic DMP uses only CFMs[0]; the multiple-CFM-point
+	// enhancement (Section 2.7.1) compares fetch addresses against all of
+	// them.
+	CFMs []uint64
+	// Class records whether the hammock formed by the branch is simple.
+	Class BranchClass
+	// ExitThreshold is the compiler-selected early-exit instruction count
+	// for the alternate path. Zero means "use the machine default".
+	ExitThreshold int
+	// Loop marks a diverge loop branch (Section 2.7.4): a backward branch
+	// whose "hammock" is one loop iteration.
+	Loop bool
+}
+
+// Program is a loaded program: code, initial data, and annotations.
+type Program struct {
+	Code   []isa.Inst
+	Labels map[string]uint64 // label name -> PC
+	// Data holds the initial contents of data memory as 8-byte words,
+	// keyed by word-aligned byte address.
+	Data map[uint64]uint64
+	// Diverge maps the PC of a marked diverge branch to its annotation.
+	// It is populated by the profiling pass (internal/profile) or by hand
+	// in tests.
+	Diverge map[uint64]*Diverge
+	// Entry is the PC of the first instruction to execute.
+	Entry uint64
+	// StackBase is the initial stack pointer value (stacks grow down).
+	StackBase uint64
+}
+
+// New returns an empty program with initialised maps.
+func New() *Program {
+	return &Program{
+		Labels:    map[string]uint64{},
+		Data:      map[uint64]uint64{},
+		Diverge:   map[uint64]*Diverge{},
+		StackBase: 1 << 20,
+	}
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Code) }
+
+// At returns the instruction at pc, or a HALT if pc is outside the code
+// image (wrong-path fetch can run off the end of the program).
+func (p *Program) At(pc uint64) isa.Inst {
+	if pc < uint64(len(p.Code)) {
+		return p.Code[pc]
+	}
+	return isa.Inst{Op: isa.HALT}
+}
+
+// InCode reports whether pc addresses a real instruction.
+func (p *Program) InCode(pc uint64) bool { return pc < uint64(len(p.Code)) }
+
+// PC returns the address of a label and panics if it is not defined.
+func (p *Program) PC(label string) uint64 {
+	pc, ok := p.Labels[label]
+	if !ok {
+		panic(fmt.Sprintf("prog: undefined label %q", label))
+	}
+	return pc
+}
+
+// SetWord sets an initial data-memory word at the given byte address
+// (rounded down to 8 bytes).
+func (p *Program) SetWord(addr, val uint64) { p.Data[addr&^7] = val }
+
+// Word returns the initial value of a data word.
+func (p *Program) Word(addr uint64) uint64 { return p.Data[addr&^7] }
+
+// MarkDiverge attaches a diverge annotation to the branch at pc. It
+// panics if pc is not a conditional branch, since marking anything else
+// indicates a broken compiler pass.
+func (p *Program) MarkDiverge(pc uint64, d *Diverge) {
+	if !p.InCode(pc) || p.Code[pc].Op != isa.BR {
+		panic(fmt.Sprintf("prog: MarkDiverge(%d): not a conditional branch", pc))
+	}
+	if len(d.CFMs) == 0 {
+		panic("prog: MarkDiverge: no CFM points")
+	}
+	p.Diverge[pc] = d
+}
+
+// DivergeAt returns the diverge annotation for the branch at pc, or nil.
+func (p *Program) DivergeAt(pc uint64) *Diverge { return p.Diverge[pc] }
+
+// ClearDiverge removes all diverge annotations (used when re-profiling).
+func (p *Program) ClearDiverge() { p.Diverge = map[uint64]*Diverge{} }
+
+// DivergePCs returns the annotated branch PCs in ascending order.
+func (p *Program) DivergePCs() []uint64 {
+	pcs := make([]uint64, 0, len(p.Diverge))
+	for pc := range p.Diverge {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}
+
+// Validate checks static well-formedness: all direct control-flow targets
+// must land inside the code image and the program must contain a HALT.
+func (p *Program) Validate() error {
+	halted := false
+	for pc, in := range p.Code {
+		switch in.Op {
+		case isa.BR, isa.JMP, isa.CALL:
+			if in.Target >= uint64(len(p.Code)) {
+				return fmt.Errorf("prog: pc %d: %v targets %d outside code (len %d)",
+					pc, in, in.Target, len(p.Code))
+			}
+		case isa.HALT:
+			halted = true
+		}
+		if !in.Op.Valid() {
+			return fmt.Errorf("prog: pc %d: invalid opcode %d", pc, uint8(in.Op))
+		}
+	}
+	if !halted {
+		return fmt.Errorf("prog: no HALT instruction")
+	}
+	if p.Entry >= uint64(len(p.Code)) {
+		return fmt.Errorf("prog: entry %d outside code", p.Entry)
+	}
+	return nil
+}
+
+// Disassemble renders the program as assembly text with labels.
+func (p *Program) Disassemble() string {
+	byPC := map[uint64][]string{}
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	out := ""
+	for pc, in := range p.Code {
+		names := byPC[uint64(pc)]
+		sort.Strings(names)
+		for _, n := range names {
+			out += n + ":\n"
+		}
+		out += fmt.Sprintf("%6d\t%v\n", pc, in)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.Li(1, 10)
+	b.Li(2, 20)
+	b.Add(3, 1, 2)
+	b.Br(isa.EQ, 3, isa.Zero, "end")
+	b.St(3, isa.Zero, 0x100)
+	b.Label("end")
+	b.Halt()
+	p := b.MustBuild()
+
+	if p.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", p.Len())
+	}
+	if p.PC("start") != 0 || p.PC("end") != 5 {
+		t.Errorf("labels wrong: start=%d end=%d", p.PC("start"), p.PC("end"))
+	}
+	if p.Code[3].Target != 5 {
+		t.Errorf("branch target = %d, want 5", p.Code[3].Target)
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+}
+
+func TestBuilderForwardAndBackwardRefs(t *testing.T) {
+	b := NewBuilder()
+	b.Label("loop")
+	b.Addi(1, 1, 1)
+	b.Br(isa.LT, 1, 2, "loop") // backward
+	b.Jmp("done")              // forward
+	b.Nop()
+	b.Label("done")
+	b.Halt()
+	p := b.MustBuild()
+	if p.Code[1].Target != 0 {
+		t.Errorf("backward target = %d, want 0", p.Code[1].Target)
+	}
+	if p.Code[2].Target != 4 {
+		t.Errorf("forward target = %d, want 4", p.Code[2].Target)
+	}
+}
+
+func TestBuilderEntry(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	b.Label("main")
+	b.Halt()
+	b.Entry("main")
+	p := b.MustBuild()
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+}
+
+func TestBuilderPanicsOnDuplicateLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label did not panic")
+		}
+	}()
+	b := NewBuilder()
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestBuilderPanicsOnUndefinedLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("undefined label did not panic")
+		}
+	}()
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	b.Halt()
+	b.Build() //nolint:errcheck
+}
+
+func TestBuilderPanicsOnDoubleBuild(t *testing.T) {
+	b := NewBuilder()
+	b.Halt()
+	b.MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Build did not panic")
+		}
+	}()
+	b.Build() //nolint:errcheck
+}
+
+func TestValidateRejectsNoHalt(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	if _, err := b.Build(); err == nil {
+		t.Error("program without HALT validated")
+	}
+}
+
+func TestProgramAtOutsideCode(t *testing.T) {
+	b := NewBuilder()
+	b.Halt()
+	p := b.MustBuild()
+	if got := p.At(100); got.Op != isa.HALT {
+		t.Errorf("At(100) = %v, want HALT", got)
+	}
+	if p.InCode(100) {
+		t.Error("InCode(100) = true")
+	}
+	if !p.InCode(0) {
+		t.Error("InCode(0) = false")
+	}
+}
+
+func TestDataWords(t *testing.T) {
+	p := New()
+	p.SetWord(0x103, 42) // unaligned, rounds down
+	if p.Word(0x100) != 42 {
+		t.Errorf("Word(0x100) = %d, want 42", p.Word(0x100))
+	}
+	b := NewBuilder()
+	b.Words(0x200, 1, 2, 3)
+	b.Halt()
+	pp := b.MustBuild()
+	for i, want := range []uint64{1, 2, 3} {
+		if got := pp.Word(0x200 + uint64(i)*8); got != want {
+			t.Errorf("word %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMarkDiverge(t *testing.T) {
+	b := NewBuilder()
+	b.Li(1, 1)
+	brPC := b.Br(isa.NE, 1, isa.Zero, "end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p := b.MustBuild()
+
+	p.MarkDiverge(brPC, &Diverge{CFMs: []uint64{p.PC("end")}, Class: ClassSimpleHammock})
+	d := p.DivergeAt(brPC)
+	if d == nil || d.CFMs[0] != 3 {
+		t.Fatalf("DivergeAt = %+v", d)
+	}
+	if pcs := p.DivergePCs(); len(pcs) != 1 || pcs[0] != brPC {
+		t.Errorf("DivergePCs = %v", pcs)
+	}
+	p.ClearDiverge()
+	if p.DivergeAt(brPC) != nil {
+		t.Error("ClearDiverge did not clear")
+	}
+}
+
+func TestMarkDivergePanicsOnNonBranch(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Error("MarkDiverge on NOP did not panic")
+		}
+	}()
+	p.MarkDiverge(0, &Diverge{CFMs: []uint64{1}})
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Label("entry")
+	b.Li(1, 5)
+	b.Halt()
+	p := b.MustBuild()
+	dis := p.Disassemble()
+	if !strings.Contains(dis, "entry:") || !strings.Contains(dis, "li r1, 5") {
+		t.Errorf("Disassemble missing content:\n%s", dis)
+	}
+}
+
+func TestBranchClassString(t *testing.T) {
+	if ClassSimpleHammock.String() != "simple-hammock" ||
+		ClassComplexDiverge.String() != "complex-diverge" ||
+		ClassOther.String() != "other" {
+		t.Error("BranchClass strings wrong")
+	}
+}

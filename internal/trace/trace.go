@@ -1,0 +1,212 @@
+// Package trace records and replays branch traces: the standard
+// trace-driven methodology for evaluating branch predictors and
+// confidence estimators without re-running the timing simulator. A trace
+// is the sequence of (pc, taken) outcomes of every conditional branch a
+// program executes, in order.
+//
+// The binary format is a 16-byte header ("DMPBRTR1", count) followed by
+// one 9-byte record per branch (pc uint64 little-endian, taken byte).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dmp/internal/bpred"
+	"dmp/internal/conf"
+	"dmp/internal/emu"
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+// Record is one conditional branch outcome.
+type Record struct {
+	PC    uint64
+	Taken bool
+}
+
+// Trace is an in-memory branch trace.
+type Trace struct {
+	Records []Record
+	// Insts is the number of program instructions the trace covers
+	// (for MPKI computation).
+	Insts uint64
+}
+
+var magic = [8]byte{'D', 'M', 'P', 'B', 'R', 'T', 'R', '1'}
+
+// Collect runs the program on the functional emulator and records every
+// conditional branch, up to max instructions (0 = to completion).
+func Collect(p *prog.Program, max uint64) (*Trace, error) {
+	t := &Trace{}
+	e := emu.New(p)
+	err := e.RunFunc(max, func(s emu.Step) bool {
+		if s.Inst.Op == isa.BR {
+			t.Records = append(t.Records, Record{PC: s.PC, Taken: s.Taken})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: collect: %w", err)
+	}
+	t.Insts = e.Count
+	return t, nil
+}
+
+// Write serialises the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(t.Records)))
+	binary.LittleEndian.PutUint64(hdr[8:], t.Insts)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [9]byte
+	for _, r := range t.Records {
+		binary.LittleEndian.PutUint64(rec[0:], r.PC)
+		rec[8] = 0
+		if r.Taken {
+			rec[8] = 1
+		}
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:])
+	const maxRecords = 1 << 30
+	if n > maxRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", n)
+	}
+	t := &Trace{
+		Records: make([]Record, n),
+		Insts:   binary.LittleEndian.Uint64(hdr[8:]),
+	}
+	var rec [9]byte
+	for i := range t.Records {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		t.Records[i] = Record{
+			PC:    binary.LittleEndian.Uint64(rec[0:]),
+			Taken: rec[8] != 0,
+		}
+	}
+	return t, nil
+}
+
+// Result summarises a predictor's behaviour on a trace.
+type Result struct {
+	Predictor   string
+	Branches    uint64
+	Mispredicts uint64
+	// MPKI uses the trace's instruction count.
+	MPKI float64
+}
+
+// Accuracy returns the prediction accuracy in [0,1].
+func (r Result) Accuracy() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return 1 - float64(r.Mispredicts)/float64(r.Branches)
+}
+
+// Evaluate replays the trace through a direction predictor, training at
+// every branch (the trace-driven equivalent of retirement-time updates
+// with an in-order front end).
+func Evaluate(t *Trace, p bpred.DirPredictor) Result {
+	var hist bpred.GHR
+	res := Result{Predictor: p.Name(), Branches: uint64(len(t.Records))}
+	for _, r := range t.Records {
+		if p.Predict(r.PC, hist) != r.Taken {
+			res.Mispredicts++
+		}
+		p.Update(r.PC, hist, r.Taken)
+		hist = hist.Push(r.Taken)
+	}
+	if t.Insts > 0 {
+		res.MPKI = 1000 * float64(res.Mispredicts) / float64(t.Insts)
+	}
+	return res
+}
+
+// ConfidenceResult summarises a confidence estimator on a trace under a
+// given predictor: how well low-confidence flags align with actual
+// mispredictions (the quantity that decides cases 1 vs 2 in Table 1).
+type ConfidenceResult struct {
+	Estimator string
+	// PVN: of branches flagged low-confidence, the fraction actually
+	// mispredicted (predictive value of a negative, in JRS terms).
+	LowFlags    uint64
+	LowCorrect  uint64 // flagged low but predicted correctly (case-1 fuel)
+	MissedHighs uint64 // mispredicted but flagged high confidence
+	Mispredicts uint64
+}
+
+// PVN returns the fraction of low-confidence flags that were real
+// mispredictions.
+func (c ConfidenceResult) PVN() float64 {
+	if c.LowFlags == 0 {
+		return 0
+	}
+	return float64(c.LowFlags-c.LowCorrect) / float64(c.LowFlags)
+}
+
+// Coverage returns the fraction of mispredictions that were flagged.
+func (c ConfidenceResult) Coverage() float64 {
+	if c.Mispredicts == 0 {
+		return 0
+	}
+	return float64(c.Mispredicts-c.MissedHighs) / float64(c.Mispredicts)
+}
+
+// EvaluateConfidence replays the trace through a predictor and a
+// confidence estimator together.
+func EvaluateConfidence(t *Trace, p bpred.DirPredictor, e conf.Estimator) ConfidenceResult {
+	var hist bpred.GHR
+	res := ConfidenceResult{Estimator: e.Name()}
+	for _, r := range t.Records {
+		pred := p.Predict(r.PC, hist)
+		low := e.LowConfidence(r.PC, hist)
+		correct := pred == r.Taken
+		if !correct {
+			res.Mispredicts++
+			if !low {
+				res.MissedHighs++
+			}
+		}
+		if low {
+			res.LowFlags++
+			if correct {
+				res.LowCorrect++
+			}
+		}
+		p.Update(r.PC, hist, r.Taken)
+		e.Update(r.PC, hist, correct)
+		hist = hist.Push(r.Taken)
+	}
+	return res
+}

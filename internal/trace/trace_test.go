@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"dmp/internal/bpred"
+	"dmp/internal/conf"
+	"dmp/internal/workload"
+)
+
+func collectBench(t *testing.T, name string) *Trace {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: 1})
+	tr, err := Collect(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCollectCounts(t *testing.T) {
+	tr := collectBench(t, "twolf")
+	if len(tr.Records) == 0 || tr.Insts == 0 {
+		t.Fatal("empty trace")
+	}
+	// Every record must be a plausible branch PC with both outcomes
+	// represented somewhere in the trace.
+	taken, nt := 0, 0
+	for _, r := range tr.Records {
+		if r.Taken {
+			taken++
+		} else {
+			nt++
+		}
+	}
+	if taken == 0 || nt == 0 {
+		t.Errorf("degenerate trace: taken=%d nt=%d", taken, nt)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := collectBench(t, "vpr")
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Insts != tr.Insts || len(got.Records) != len(tr.Records) {
+		t.Fatalf("round trip sizes: %d/%d vs %d/%d", got.Insts, len(got.Records), tr.Insts, len(tr.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace at all......"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	tr := &Trace{Records: []Record{{PC: 1, Taken: true}}, Insts: 10}
+	tr.Write(&buf) //nolint:errcheck
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestEvaluatePredictorsOrdering(t *testing.T) {
+	tr := collectBench(t, "crafty")
+	perc := Evaluate(tr, bpred.NewPerceptron(bpred.DefaultPerceptronConfig()))
+	bim := Evaluate(tr, bpred.NewBimodal(14))
+	if perc.Branches != uint64(len(tr.Records)) {
+		t.Error("branch count mismatch")
+	}
+	// The history-based perceptron must beat bimodal on crafty's
+	// history-correlated branches.
+	if perc.Accuracy() <= bim.Accuracy() {
+		t.Errorf("perceptron %.4f <= bimodal %.4f", perc.Accuracy(), bim.Accuracy())
+	}
+	if perc.MPKI <= 0 {
+		t.Error("MPKI not computed")
+	}
+}
+
+func TestEvaluateMatchesProfilerBallpark(t *testing.T) {
+	// Trace-driven perceptron accuracy should land in the same ballpark
+	// as the timing simulator's retirement-trained accuracy: spot-check
+	// two benchmarks at contrasting predictability.
+	easy := Evaluate(collectBench(t, "perlbmk"), bpred.NewPerceptron(bpred.DefaultPerceptronConfig()))
+	hard := Evaluate(collectBench(t, "vpr"), bpred.NewPerceptron(bpred.DefaultPerceptronConfig()))
+	if easy.Accuracy() < 0.98 {
+		t.Errorf("perlbmk accuracy %.4f, want >= 0.98", easy.Accuracy())
+	}
+	if hard.Accuracy() > 0.92 {
+		t.Errorf("vpr accuracy %.4f, want <= 0.92", hard.Accuracy())
+	}
+}
+
+func TestEvaluateConfidence(t *testing.T) {
+	tr := collectBench(t, "twolf")
+	res := EvaluateConfidence(tr,
+		bpred.NewPerceptron(bpred.DefaultPerceptronConfig()),
+		conf.NewJRS(conf.DefaultJRSConfig()))
+	if res.Mispredicts == 0 || res.LowFlags == 0 {
+		t.Fatalf("degenerate confidence eval: %+v", res)
+	}
+	if res.PVN() <= 0 || res.PVN() > 1 {
+		t.Errorf("PVN %.3f out of range", res.PVN())
+	}
+	if res.Coverage() <= 0 || res.Coverage() > 1 {
+		t.Errorf("coverage %.3f out of range", res.Coverage())
+	}
+	// JRS must catch most mispredictions (that is its job), at the cost
+	// of flagging some correct predictions.
+	if res.Coverage() < 0.5 {
+		t.Errorf("JRS coverage %.3f suspiciously low", res.Coverage())
+	}
+}
+
+func TestEvaluateConfidenceExtremes(t *testing.T) {
+	tr := collectBench(t, "twolf")
+	always := EvaluateConfidence(tr,
+		bpred.NewPerceptron(bpred.DefaultPerceptronConfig()), conf.AlwaysLow{})
+	if always.Coverage() != 1 {
+		t.Errorf("always-low coverage %.3f, want 1", always.Coverage())
+	}
+	never := EvaluateConfidence(tr,
+		bpred.NewPerceptron(bpred.DefaultPerceptronConfig()), conf.NeverLow{})
+	if never.LowFlags != 0 {
+		t.Error("never-low flagged something")
+	}
+}
+
+func TestCollectMaxBounds(t *testing.T) {
+	w, _ := workload.ByName("mesa")
+	p := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: 5})
+	tr, err := Collect(p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Insts > 5000 {
+		t.Errorf("collected %d insts, cap 5000", tr.Insts)
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+func init() {
+	register("mesa", "rasteriser kernel: predictable span loops with occasional clip hammocks", buildMesa)
+	register("ammp", "molecular-dynamics kernel: neighbour iteration with a cutoff hammock", buildAmmp)
+	register("fma3d", "finite-element kernel: element loops with a fracture diverge hammock", buildFma3d)
+}
+
+// buildMesa models span rasterisation: an outer loop over spans and an
+// inner fixed-trip pixel loop of pure arithmetic, with an occasional
+// clipping hammock. Branches are almost all loop branches with constant
+// trip counts, so the predictor is nearly perfect and the IPC is the
+// highest of the suite — matching mesa's 4.14 base IPC and its small
+// benefit from flush reduction (Figure 11 vs. Figure 9).
+func buildMesa(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const fb = 0xa0000
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(400*c.Scale))
+	b.Li(rPtr0, fb)
+	b.Label("span")
+	emitScramble(b, rRng)
+	emitRange(b, rT0, rRng, 11, 6) // span start colour
+	b.Li(rIdx, 8)                  // constant trip count
+	b.Label("pixel")
+	b.Muli(rT1, rT0, 3)
+	b.Addi(rT1, rT1, 17)
+	b.Andi(rT1, rT1, 1023)
+	b.Add(rAcc0, rAcc0, rT1)
+	b.Xor(rAcc1, rAcc1, rT1)
+	b.Andi(rT2, rAcc0, 511)
+	b.Shli(rT2, rT2, 3)
+	b.Add(rT2, rT2, rPtr0)
+	b.St(rT1, rT2, 0)
+	b.Mov(rT0, rT1)
+	b.Subi(rIdx, rIdx, 1)
+	b.Br(isa.GT, rIdx, isa.Zero, "pixel")
+	// Rare clip: span crosses the viewport edge (~3%).
+	emitRange(b, rT3, rRng, 43, 5)
+	b.Brnz(rT3, "noclip")
+	b.Shri(rAcc0, rAcc0, 1)
+	b.Addi(rAcc2, rAcc2, 1)
+	b.Label("noclip")
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "span")
+	b.St(rAcc0, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildAmmp models a neighbour-list force loop: load a neighbour's
+// "distance", skip it if beyond the cutoff (a mildly unpredictable
+// hammock, ~30% taken), otherwise accumulate a force term.
+func buildAmmp(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const atoms = 0xb0000
+	r := newRNG(c.Seed)
+	fillWords(b, r, atoms, 2048, 1000)
+
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(1500*c.Scale))
+	b.Li(rPtr0, atoms)
+	b.Li(rPivot, 700) // cutoff: ~30% of uniform [0,1000) values exceed it
+	b.Label("loop")
+	emitScramble(b, rRng)
+	emitRange(b, rT0, rRng, 23, 11)
+	b.Shli(rT0, rT0, 3)
+	b.Add(rT0, rT0, rPtr0)
+	b.Ld(rT1, rT0, 0) // distance
+	b.Br(isa.GE, rT1, rPivot, "skip")
+	// force term: a little arithmetic
+	b.Muli(rT2, rT1, 7)
+	b.Shri(rT2, rT2, 4)
+	b.Add(rAcc0, rAcc0, rT2)
+	b.Xor(rAcc1, rAcc1, rT1)
+	b.Label("skip") // CFM
+	b.Addi(rAcc2, rAcc2, 1)
+	emitTailWork(b, 10)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc0, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildFma3d models an explicit finite-element update: per element,
+// compute a strain update, then branch on a fracture test whose outcome
+// is data dependent (~20%) into a longer failure arm; both arms merge at
+// the state write-back — a complex diverge hammock with a store.
+func buildFma3d(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const elems = 0xc0000
+	r := newRNG(c.Seed)
+	fillWords(b, r, elems, 1024, 100)
+
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(1100*c.Scale))
+	b.Li(rPtr0, elems)
+	b.Li(rPivot, 80) // fracture threshold: ~20% exceed
+	b.Label("loop")
+	emitScramble(b, rRng)
+	emitRange(b, rT0, rRng, 17, 10)
+	b.Shli(rT0, rT0, 3)
+	b.Add(rT0, rT0, rPtr0)
+	b.Ld(rT1, rT0, 0) // stress
+	// strain update (common work before the test)
+	b.Muli(rT2, rT1, 5)
+	b.Shri(rT2, rT2, 2)
+	b.Br(isa.GE, rT1, rPivot, "fracture")
+	b.Add(rAcc0, rAcc0, rT2)
+	b.Jmp("writeback")
+	b.Label("fracture")
+	// failure arm: redistribute the load
+	b.Shri(rT2, rT2, 1)
+	b.Add(rAcc1, rAcc1, rT2)
+	b.Xor(rAcc2, rAcc2, rT1)
+	b.Addi(rAcc1, rAcc1, 3)
+	b.Label("writeback") // CFM
+	b.St(rT2, rT0, 0)
+	b.Add(rAcc2, rAcc2, rAcc0)
+	emitTailWork(b, 12)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc2, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}

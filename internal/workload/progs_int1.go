@@ -1,0 +1,338 @@
+package workload
+
+import (
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+func init() {
+	register("bzip2", "compression kernel: class-dependent transforms with complex diverge hammocks", buildBzip2)
+	register("crafty", "chess kernel: bitboard scans with calls and moderately predictable branches", buildCrafty)
+	register("eon", "rendering kernel: fixed-point arithmetic loops, highly predictable", buildEon)
+	register("gap", "interpreter kernel: jump-table dispatch over random opcodes (indirect-heavy)", buildGap)
+	register("gcc", "compiler kernel: spaghetti control flow with distant, per-branch reconvergence", buildGcc)
+	register("gzip", "LZ kernel: data-dependent match loops and literal/match hammocks", buildGzip)
+}
+
+// buildBzip2 models the block-sort/MTF flavour of bzip2: a loop over
+// random bytes classifying each into one of three transforms. The
+// 3-way classification makes the first branch hard to predict, but all
+// arms reconverge quickly at a common tail: a classic complex diverge
+// branch.
+func buildBzip2(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const data = 0x10000
+	r := newRNG(c.Seed)
+	fillWords(b, r, data, 512, 256) // "input bytes"
+
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(1200*c.Scale))
+	b.Li(rPtr0, data)
+	b.Label("loop")
+	emitScramble(b, rRng)
+	// index into the data block
+	emitRange(b, rT0, rRng, 17, 9)
+	b.Shli(rT0, rT0, 3)
+	b.Add(rT0, rT0, rPtr0)
+	b.Ld(rT1, rT0, 0) // byte value 0..255
+	// Skewed 3-way classification on the data value's low bits:
+	// ~12% run-length, ~19% move-to-front, ~69% literal.
+	b.Andi(rT2, rT1, 15)
+	b.Slti(rT3, rT2, 2)
+	b.Brnz(rT3, "runlen")
+	b.Slti(rT3, rT2, 5)
+	b.Brnz(rT3, "mtf")
+	// literal
+	b.Add(rAcc0, rAcc0, rT1)
+	b.Shli(rT3, rT1, 1)
+	b.Xor(rAcc1, rAcc1, rT3)
+	b.Jmp("emit")
+	b.Label("mtf")
+	b.Sub(rAcc0, rAcc0, rT1)
+	b.Addi(rAcc1, rAcc1, 3)
+	b.Shri(rT3, rAcc1, 2)
+	b.Add(rAcc1, rAcc1, rT3)
+	b.Jmp("emit")
+	b.Label("runlen")
+	b.Addi(rAcc2, rAcc2, 1)
+	b.Muli(rT3, rT1, 3)
+	b.Add(rAcc0, rAcc0, rT3)
+	b.Label("emit") // CFM point for the classification branches
+	b.Xor(rAcc2, rAcc2, rAcc0)
+	b.St(rAcc0, rT0, 4096)
+	emitTailWork(b, 14)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc1, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildCrafty models chess move generation: a bit-scan over occupancy
+// words with an evaluation call for set bits. Branch behaviour is mixed:
+// the bit test is semi-predictable, and the evaluation contains a
+// biased capture branch.
+func buildCrafty(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const boards = 0x20000
+	r := newRNG(c.Seed)
+	fillWords(b, r, boards, 128, 0)
+
+	b.Entry("main")
+	// eval(r4=square bits) -> r10 += score
+	b.Label("eval")
+	b.Andi(rT2, rT1, 7)
+	b.Muli(rT2, rT2, 9)
+	b.Add(rAcc0, rAcc0, rT2)
+	b.Andi(rT3, rT1, 112)
+	b.Br(isa.NE, rT3, isa.Zero, "capture") // biased ~88% taken
+	b.Addi(rAcc0, rAcc0, 1)
+	b.Label("capture")
+	b.Ret()
+
+	b.Label("main")
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(900*c.Scale))
+	b.Li(rPtr0, boards)
+	b.Label("loop")
+	emitScramble(b, rRng)
+	emitRange(b, rT0, rRng, 13, 7)
+	b.Shli(rT0, rT0, 3)
+	b.Add(rT0, rT0, rPtr0)
+	b.Ld(rT1, rT0, 0) // occupancy word
+	// scan 4 nibbles of the word
+	b.Li(rIdx, 4)
+	b.Label("scan")
+	b.Andi(rT2, rT1, 15)
+	b.Br(isa.EQ, rT2, isa.Zero, "empty") // data-dependent, ~6% empty
+	b.Call("eval")
+	b.Label("empty")
+	b.Shri(rT1, rT1, 16)
+	b.Subi(rIdx, rIdx, 1)
+	b.Br(isa.GT, rIdx, isa.Zero, "scan")
+	emitTailWork(b, 12)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc0, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildEon models a shading inner loop: long stretches of fixed-point
+// arithmetic with a rare clamp branch. Branch prediction is nearly
+// perfect and ILP is high, as for the real eon (base IPC 3.3).
+func buildEon(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(2500*c.Scale))
+	b.Li(rAcc0, 1)
+	b.Label("loop")
+	emitScramble(b, rRng)
+	// independent arithmetic chains (high ILP)
+	b.Shri(rT0, rRng, 7)
+	b.Shri(rT1, rRng, 21)
+	b.Shri(rT2, rRng, 35)
+	b.Andi(rT0, rT0, 1023)
+	b.Andi(rT1, rT1, 1023)
+	b.Andi(rT2, rT2, 1023)
+	b.Mul(rT3, rT0, rT1)
+	b.Add(rAcc0, rAcc0, rT3)
+	b.Mul(rT3, rT1, rT2)
+	b.Add(rAcc1, rAcc1, rT3)
+	b.Xor(rAcc2, rAcc2, rT0)
+	b.Add(rAcc2, rAcc2, rT2)
+	// rare clamp: accumulator overflow guard (taken ~0.1%)
+	b.Shri(rT3, rAcc0, 40)
+	b.Br(isa.EQ, rT3, isa.Zero, "noclamp")
+	b.Shri(rAcc0, rAcc0, 1)
+	b.Label("noclamp")
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc0, isa.Zero, 0x800)
+	b.St(rAcc1, isa.Zero, 0x808)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGap models a bytecode interpreter: fetch a random opcode, dispatch
+// through a jump table (JR), run a short handler, repeat. Indirect
+// target prediction dominates; conditional branches are regular.
+func buildGap(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const (
+		table = 0x30000
+		code  = 0x31000
+	)
+	r := newRNG(c.Seed)
+	fillWords(b, r, code, 1024, 8) // "bytecode": opcodes 0..7
+
+	b.Entry("main")
+	b.Label("main")
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(1200*c.Scale))
+	b.Li(rPtr0, code)
+	b.Li(rPtr1, table)
+	b.Label("dispatch")
+	emitScramble(b, rRng)
+	emitRange(b, rIdx, rRng, 23, 10)
+	b.Shli(rIdx, rIdx, 3)
+	b.Add(rIdx, rIdx, rPtr0)
+	b.Ld(rT0, rIdx, 0) // opcode
+	b.Shli(rT0, rT0, 3)
+	b.Add(rT0, rT0, rPtr1)
+	b.Ld(rT1, rT0, 0) // handler address
+	b.Jr(rT1)
+
+	handlers := []string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	for i, h := range handlers {
+		b.Label(h)
+		switch i % 4 {
+		case 0:
+			b.Addi(rAcc0, rAcc0, int64(i+1))
+			b.Xor(rAcc1, rAcc1, rAcc0)
+		case 1:
+			b.Muli(rT2, rAcc0, 3)
+			b.Add(rAcc1, rAcc1, rT2)
+		case 2:
+			b.Shri(rT2, rAcc1, 3)
+			b.Sub(rAcc0, rAcc0, rT2)
+		case 3:
+			b.Andi(rT2, rAcc0, 255)
+			b.Add(rAcc2, rAcc2, rT2)
+		}
+		b.Jmp("next")
+	}
+	b.Label("next")
+	// A data-dependent guard hammock at the statement boundary (the
+	// paper's gap has conditional diverge branches besides the dispatch).
+	emitBit(b, rT3, rRng, 51)
+	b.Brz(rT3, "cheap")
+	b.Muli(rT2, rAcc1, 5)
+	b.Shri(rT2, rT2, 3)
+	b.Add(rAcc0, rAcc0, rT2)
+	b.Label("cheap") // CFM
+	emitTailWork(b, 10)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "dispatch")
+	b.St(rAcc1, isa.Zero, 0x800)
+	b.Halt()
+
+	p := b.MustBuild()
+	for i, h := range handlers {
+		p.SetWord(table+uint64(i)*8, p.PC(h))
+	}
+	return p
+}
+
+// buildGcc models the control flow that defeats both DHP and DMP
+// ("other complex" in Figure 6): hard-to-predict branches whose arms run
+// long, distinct tails (beyond the 120-instruction CFM limit) before any
+// reconvergence, nested with further data-dependent branches.
+func buildGcc(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(160*c.Scale))
+	b.Label("loop")
+	emitScramble(b, rRng)
+	emitBit(b, rT0, rRng, 33)
+	b.Brnz(rT0, "armB") // ~50%: the "other complex" branch
+
+	// arm A: a long private region with its own inner branch
+	emitBit(b, rT1, rRng, 11)
+	b.Brnz(rT1, "armA2")
+	emitLongTail(b, "A1", 130, rAcc0)
+	b.Jmp("joinA")
+	b.Label("armA2")
+	emitLongTail(b, "A2", 135, rAcc1)
+	b.Label("joinA")
+	b.Addi(rAcc0, rAcc0, 1)
+	b.Jmp("cont")
+
+	// arm B: a different long private region
+	b.Label("armB")
+	emitBit(b, rT1, rRng, 47)
+	b.Brnz(rT1, "armB2")
+	emitLongTail(b, "B1", 140, rAcc1)
+	b.Jmp("joinB")
+	b.Label("armB2")
+	emitLongTail(b, "B2", 132, rAcc2)
+	b.Label("joinB")
+	b.Subi(rAcc2, rAcc2, 1)
+
+	b.Label("cont")
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc0, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// emitLongTail emits n straight-line instructions mixing a couple of
+// registers, used to push reconvergence beyond the CFM distance limit.
+func emitLongTail(b *prog.Builder, tag string, n int, acc isa.Reg) {
+	_ = tag
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			b.Addi(acc, acc, int64(i+1))
+		case 1:
+			b.Xor(rT2, acc, rRng)
+		case 2:
+			b.Shri(rT3, rT2, 5)
+		case 3:
+			b.Add(acc, acc, rT3)
+		}
+	}
+}
+
+// buildGzip models LZ77 matching: an inner match-extension loop whose
+// trip count is data dependent (a hard loop branch) and a literal/match
+// decision hammock.
+func buildGzip(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const window = 0x40000
+	r := newRNG(c.Seed)
+	fillWords(b, r, window, 1024, 16)
+
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(1000*c.Scale))
+	b.Li(rPtr0, window)
+	b.Label("loop")
+	emitScramble(b, rRng)
+	emitRange(b, rT0, rRng, 9, 10) // candidate position
+	b.Shli(rT0, rT0, 3)
+	b.Add(rT0, rT0, rPtr0)
+	b.Ld(rT1, rT0, 0)
+	// literal-vs-match hammock: ~31% of positions start a match
+	b.Andi(rT2, rT1, 15)
+	b.Slti(rT2, rT2, 5)
+	b.Brnz(rT2, "match")
+	b.Addi(rAcc0, rAcc0, 1) // literal
+	b.Xor(rAcc1, rAcc1, rT1)
+	b.Jmp("after")
+	b.Label("match")
+	// match length = next nibble (1..15): data-dependent inner loop
+	b.Shri(rIdx, rT1, 1)
+	b.Andi(rIdx, rIdx, 7)
+	b.Addi(rIdx, rIdx, 1)
+	b.Label("extend")
+	b.Add(rAcc1, rAcc1, rIdx)
+	b.Shri(rT3, rAcc1, 7)
+	b.Xor(rAcc2, rAcc2, rT3)
+	b.Subi(rIdx, rIdx, 1)
+	b.Br(isa.GT, rIdx, isa.Zero, "extend") // diverge loop branch material
+	b.Label("after")                       // CFM
+	b.Add(rAcc2, rAcc2, rAcc0)
+	emitTailWork(b, 10)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc2, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,346 @@
+package workload
+
+import (
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+func init() {
+	register("mcf", "network-simplex kernel: pointer chasing over a >L2 footprint with simple hammocks", buildMcf)
+	register("parser", "recursive-descent kernel: call-heavy with many complex diverge branches", buildParser)
+	register("perlbmk", "interpreter kernel with near-perfectly predictable control flow", buildPerlbmk)
+	register("twolf", "simulated-annealing kernel: random accept/reject diverge hammocks", buildTwolf)
+	register("vortex", "object-database kernel: predictable call-heavy record manipulation", buildVortex)
+	register("vpr", "routing kernel: mixed simple-hammock and complex diverge branches", buildVpr)
+}
+
+// buildMcf models mcf's dominant behaviour: traversing a linked arc list
+// whose nodes are scattered over a footprint larger than the L2 cache,
+// with a simple if-else hammock per node on an unpredictable cost
+// comparison. mcf is the benchmark where simple hammocks dominate the
+// mispredictions (44% in Figure 6) and the base IPC is lowest (0.81).
+func buildMcf(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const (
+		nodes    = 0x100000 // node array base
+		numNodes = 8192     // 64B-strided nodes: 512KB, misses L1, mostly hits L2
+	)
+	// Each node: [next_addr, value], one per cache line in a random
+	// permutation, so every node access misses the 64KB L1. Two
+	// independent chains are walked in lockstep to expose the
+	// memory-level parallelism a real out-of-order mcf run has.
+	r := newRNG(c.Seed)
+	perm := make([]uint64, numNodes)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := r.intn(uint64(i + 1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	addr := func(i uint64) uint64 { return nodes + i*64 }
+	for i := 0; i < numNodes; i++ {
+		next := perm[(i+1)%numNodes]
+		b.Word(addr(perm[i]), addr(next))
+		b.Word(addr(perm[i])+8, r.next()&1023)
+	}
+
+	const (
+		rVal1 = rT2 // second chain's value
+		rNxt1 = rT0 // second chain's next pointer
+	)
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(1600*c.Scale))
+	b.Li(rPtr0, int64(addr(perm[0])))
+	b.Li(rPtr1, int64(addr(perm[numNodes/2])))
+	b.Li(rPivot, 768) // comparison pivot: ~75% of node values fall below
+	b.Label("loop")
+	// Chain 0: load, then a simple if-else hammock on the unpredictable
+	// cost comparison (mcf's Figure-6 signature).
+	b.Ld(rT1, rPtr0, 8)
+	b.Br(isa.LT, rT1, rPivot, "cheaper")
+	b.Sub(rAcc0, rAcc0, rT1)
+	b.Jmp("joined")
+	b.Label("cheaper")
+	b.Add(rAcc0, rAcc0, rT1)
+	b.Label("joined")
+	// Control-independent work, overlapping the chain-1 access.
+	b.Ld(rVal1, rPtr1, 8)
+	b.Addi(rAcc1, rAcc1, 1)
+	b.Xor(rAcc2, rAcc2, rAcc0)
+	b.Muli(rT1, rAcc1, 3)
+	b.Shri(rT1, rT1, 2)
+	b.Add(rAcc2, rAcc2, rT1)
+	b.Add(rAcc1, rAcc1, rVal1)
+	emitTailWork(b, 8)
+	// Advance both chains.
+	b.Ld(rNxt1, rPtr1, 0)
+	b.Ld(rPtr0, rPtr0, 0)
+	b.Mov(rPtr1, rNxt1)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc0, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildParser models recursive-descent parsing over a random token
+// stream: a dispatch function decides between three productions on
+// unpredictable token classes, each production calls helpers, and all
+// reconverge at the statement boundary. parser shows the largest DMP
+// gains in the paper.
+func buildParser(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const tokens = 0x50000
+	r := newRNG(c.Seed)
+	fillWords(b, r, tokens, 2048, 0)
+
+	b.Entry("main")
+
+	// nextToken: r3 = next pseudo-random token class 0..7
+	b.Label("nextToken")
+	emitScramble(b, rRng)
+	emitRange(b, rT0, rRng, 29, 11)
+	b.Shli(rT0, rT0, 3)
+	b.Ld(rT0, rT0, tokens)
+	b.Andi(rT0, rT0, 7)
+	b.Ret()
+
+	// reduceA / reduceB: small semantic actions.
+	b.Label("reduceA")
+	b.Muli(rT2, rT0, 5)
+	b.Add(rAcc0, rAcc0, rT2)
+	b.Ret()
+	b.Label("reduceB")
+	b.Xor(rAcc1, rAcc1, rT0)
+	b.Addi(rAcc1, rAcc1, 2)
+	b.Ret()
+
+	b.Label("main")
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(700*c.Scale))
+	b.Label("stmt")
+	// Save LR manually since nested calls reuse it.
+	b.Subi(isa.SP, isa.SP, 8)
+	b.Call("nextToken")
+	// Hard 3-way production choice: complex diverge branch with calls
+	// inside — exactly what DHP cannot predicate.
+	b.Slti(rT1, rT0, 4)
+	b.Brnz(rT1, "prodA") // tokens 0-3: ~50%
+	b.Slti(rT1, rT0, 7)
+	b.Brnz(rT1, "prodB") // tokens 4-6: ~37%
+	// prodC: inline action        token 7: ~13%
+	b.Add(rAcc2, rAcc2, rT0)
+	b.Shli(rT2, rT0, 2)
+	b.Xor(rAcc2, rAcc2, rT2)
+	b.Jmp("endstmt")
+	b.Label("prodA")
+	b.Call("reduceA")
+	b.Addi(rAcc0, rAcc0, 1)
+	b.Jmp("endstmt")
+	b.Label("prodB")
+	b.Call("reduceB")
+	b.Subi(rAcc1, rAcc1, 1)
+	b.Label("endstmt") // CFM
+	b.Addi(isa.SP, isa.SP, 8)
+	b.Add(rAcc2, rAcc2, rAcc0)
+	emitTailWork(b, 12)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "stmt")
+	b.St(rAcc2, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildPerlbmk models the paper's perlbmk run: a regex-ish scanning loop
+// whose branches are almost perfectly predictable (0.3% misprediction
+// rate with the reduced input), giving high IPC and nothing for DMP to
+// do.
+func buildPerlbmk(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const text = 0x60000
+	r := newRNG(c.Seed)
+	// Text with long runs: class changes are rare, so the class branch
+	// is highly predictable (the real perlbmk mispredicts only 0.3% of
+	// its branches on the reduced input).
+	v := uint64(0)
+	for i := uint64(0); i < 1024; i++ {
+		if r.intn(320) == 0 {
+			v = r.next() & 1
+		}
+		b.Word(text+i*8, v)
+	}
+
+	b.Li(rN, int64(2200*c.Scale))
+	b.Li(rPtr0, text)
+	b.Li(rIdx, 0)
+	b.Label("loop")
+	b.Andi(rT0, rIdx, 1023)
+	b.Shli(rT0, rT0, 3)
+	b.Add(rT0, rT0, rPtr0)
+	b.Ld(rT1, rT0, 0)
+	b.Brnz(rT1, "word") // long runs: ~98% predictable
+	b.Addi(rAcc0, rAcc0, 1)
+	b.Jmp("advance")
+	b.Label("word")
+	b.Addi(rAcc1, rAcc1, 1)
+	b.Xor(rAcc2, rAcc2, rAcc1)
+	b.Label("advance")
+	b.Addi(rIdx, rIdx, 1)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc0, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildTwolf models simulated annealing placement: compute a random cost
+// delta, accept or reject on an unpredictable threshold comparison (a
+// complex diverge hammock with a store inside), then common bookkeeping.
+func buildTwolf(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const cells = 0x70000
+	r := newRNG(c.Seed)
+	fillWords(b, r, cells, 512, 4096)
+
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(1400*c.Scale))
+	b.Li(rPtr0, cells)
+	b.Label("loop")
+	emitScramble(b, rRng)
+	emitRange(b, rT0, rRng, 11, 9) // cell index
+	b.Shli(rT0, rT0, 3)
+	b.Add(rT0, rT0, rPtr0)
+	b.Ld(rT1, rT0, 0) // current cost
+	emitRange(b, rT2, rRng, 37, 12)
+	b.Shri(rT2, rT2, 1)
+	b.Addi(rT2, rT2, 1024) // bias: accept ~62% of proposed moves
+	// accept if newCost < oldCost
+	b.Br(isa.GE, rT1, rT2, "reject")
+	b.St(rT2, rT0, 0) // commit the move (store inside the hammock)
+	b.Add(rAcc0, rAcc0, rT2)
+	b.Addi(rAcc1, rAcc1, 1)
+	b.Jmp("post")
+	b.Label("reject")
+	b.Addi(rAcc2, rAcc2, 1)
+	b.Shri(rT3, rAcc2, 2)
+	b.Xor(rAcc0, rAcc0, rT3)
+	b.Label("post")   // CFM
+	b.Ld(rT3, rT0, 0) // re-read (forwarding from predicated store)
+	b.Add(rAcc1, rAcc1, rT3)
+	emitTailWork(b, 14)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc1, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildVortex models an object database: look up a record, call a method
+// by type, copy fields. Branches are predictable (type distribution is
+// skewed), calls are frequent, and IPC is high — matching vortex's 3.44
+// base IPC and low misprediction rate.
+func buildVortex(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const records = 0x80000
+	r := newRNG(c.Seed)
+	// Records: [type(0 with ~99%), f1, f2, f3] x 256; heavily skewed
+	// types (the real vortex mispredicts ~0.45% of its branches).
+	for i := 0; i < 256; i++ {
+		t := uint64(0)
+		if r.intn(128) == 0 {
+			t = 1
+		}
+		base := uint64(records + i*32)
+		b.Word(base, t)
+		b.Word(base+8, r.next()&0xffff)
+		b.Word(base+16, r.next()&0xffff)
+		b.Word(base+24, 0)
+	}
+
+	b.Entry("main")
+	b.Label("getf1") // r4 = rec.f1 + rec.f2
+	b.Ld(rT1, rPtr1, 8)
+	b.Ld(rT2, rPtr1, 16)
+	b.Add(rT1, rT1, rT2)
+	b.Ret()
+
+	b.Label("main")
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(1100*c.Scale))
+	b.Li(rPtr0, records)
+	b.Label("loop")
+	emitScramble(b, rRng)
+	emitRange(b, rT0, rRng, 19, 8)
+	b.Shli(rT0, rT0, 5)
+	b.Add(rPtr1, rT0, rPtr0)
+	b.Ld(rT3, rPtr1, 0) // type tag: 90% zero -> predictable
+	b.Brnz(rT3, "rare")
+	b.Call("getf1")
+	b.Add(rAcc0, rAcc0, rT1)
+	b.Jmp("store")
+	b.Label("rare")
+	b.Addi(rAcc1, rAcc1, 7)
+	b.Label("store")
+	b.St(rAcc0, rPtr1, 24)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc0, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildVpr models maze routing cost expansion: per step, a simple
+// hammock on a random comparison (vpr has ~11% simple-hammock
+// mispredictions) plus a complex diverge region choosing among three
+// direction updates, reconverging at the cost update.
+func buildVpr(c BuildConfig) *prog.Program {
+	c = c.norm()
+	b := prog.NewBuilder()
+	const grid = 0x90000
+	r := newRNG(c.Seed)
+	fillWords(b, r, grid, 1024, 2048)
+
+	b.Li(rRng, int64(c.Seed|1))
+	b.Li(rN, int64(1100*c.Scale))
+	b.Li(rPtr0, grid)
+	b.Label("loop")
+	emitScramble(b, rRng)
+	emitRange(b, rT0, rRng, 13, 10)
+	b.Shli(rT0, rT0, 3)
+	b.Add(rT0, rT0, rPtr0)
+	b.Ld(rT1, rT0, 0)
+	// Simple hammock: bend cost, ~25% taken.
+	emitRange(b, rT2, rRng, 41, 2)
+	b.Brnz(rT2, "nobend")
+	b.Addi(rAcc0, rAcc0, 3)
+	b.Label("nobend")
+	// Complex diverge: skewed 3-way direction choice on data bits.
+	b.Andi(rT2, rT1, 7)
+	b.Slti(rT3, rT2, 1)
+	b.Brnz(rT3, "north") // ~12%
+	b.Slti(rT3, rT2, 3)
+	b.Brnz(rT3, "east")      // ~25%
+	b.Add(rAcc1, rAcc1, rT1) // south/west
+	b.Shri(rT3, rAcc1, 3)
+	b.Xor(rAcc2, rAcc2, rT3)
+	b.Jmp("cost")
+	b.Label("north")
+	b.Sub(rAcc1, rAcc1, rT1)
+	b.Jmp("cost")
+	b.Label("east")
+	b.Addi(rAcc1, rAcc1, 11)
+	b.Label("cost") // CFM
+	b.Add(rAcc2, rAcc2, rAcc0)
+	emitTailWork(b, 12)
+	b.Subi(rN, rN, 1)
+	b.Br(isa.GT, rN, isa.Zero, "loop")
+	b.St(rAcc2, isa.Zero, 0x800)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,191 @@
+// Package workload provides the fifteen synthetic benchmarks used in
+// place of the paper's SPEC CPU2000 binaries (12 integer + mesa, ammp,
+// fma3d). Each program is written against the simulator ISA and modelled
+// on the branch behaviour that drives the paper's results for its
+// namesake: mcf is hammock-heavy pointer chasing with a large cache
+// footprint, parser is recursive descent with many complex diverge
+// branches, gcc is spaghetti control flow with no usable reconvergence
+// points, perlbmk/vortex/eon are highly predictable, and so on (see each
+// builder's comment).
+//
+// Programs are deterministic functions of a seed; profiling runs use
+// TrainSeed and measurement runs RefSeed, mirroring the paper's
+// train/reference input split (Section 3.1).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+// TrainSeed and RefSeed are the canonical profiling and measurement
+// inputs.
+const (
+	TrainSeed uint64 = 0x747261696e5f31 // "train_1"
+	RefSeed   uint64 = 0x7265665f696e70 // "ref_inp"
+)
+
+// BuildConfig parameterises a workload instance.
+type BuildConfig struct {
+	// Seed selects the input data (TrainSeed or RefSeed, typically).
+	Seed uint64
+	// Scale multiplies the main loop counts; 1 is the default size
+	// (roughly 10^5 dynamic instructions per benchmark).
+	Scale int
+}
+
+func (c BuildConfig) norm() BuildConfig {
+	if c.Seed == 0 {
+		c.Seed = RefSeed
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// Workload is one named benchmark.
+type Workload struct {
+	Name  string
+	Desc  string
+	Build func(BuildConfig) *prog.Program
+}
+
+var registry = map[string]*Workload{}
+var order []string
+
+func register(name, desc string, build func(BuildConfig) *prog.Program) {
+	if _, dup := registry[name]; dup {
+		panic("workload: duplicate " + name)
+	}
+	registry[name] = &Workload{Name: name, Desc: desc, Build: build}
+	order = append(order, name)
+}
+
+// Names returns the benchmark names in the paper's presentation order.
+func Names() []string {
+	want := []string{
+		"bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser",
+		"perlbmk", "twolf", "vortex", "vpr", "mesa", "ammp", "fma3d",
+	}
+	// Guard against registration drift.
+	if len(want) != len(order) {
+		sorted := append([]string(nil), order...)
+		sort.Strings(sorted)
+		panic(fmt.Sprintf("workload: registry has %v", sorted))
+	}
+	return want
+}
+
+// ByName returns a workload or an error.
+func ByName(name string) (*Workload, error) {
+	w := registry[name]
+	if w == nil {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// All returns the workloads in paper order.
+func All() []*Workload {
+	ws := make([]*Workload, 0, len(registry))
+	for _, n := range Names() {
+		ws = append(ws, registry[n])
+	}
+	return ws
+}
+
+// --- deterministic data generation (Go side) ---
+
+// rng is a splitmix64 generator used to pre-initialise data memory.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed ^ 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n uint64) uint64 { return r.next() % n }
+
+// fillWords writes n pseudo-random words (bounded by mod if nonzero)
+// starting at base.
+func fillWords(b *prog.Builder, r *rng, base uint64, n int, mod uint64) {
+	for i := 0; i < n; i++ {
+		v := r.next()
+		if mod != 0 {
+			v %= mod
+		}
+		b.Word(base+uint64(i)*8, v)
+	}
+}
+
+// --- shared in-program idioms ---
+
+// Register conventions used by all builders.
+const (
+	rRng  = isa.Reg(1) // in-program LCG state
+	rN    = isa.Reg(2) // outer loop counter
+	rT0   = isa.Reg(3)
+	rT1   = isa.Reg(4)
+	rT2   = isa.Reg(5)
+	rT3   = isa.Reg(6)
+	rAcc0 = isa.Reg(10)
+	rAcc1 = isa.Reg(11)
+	rAcc2 = isa.Reg(12)
+	rPtr0 = isa.Reg(16)
+	rPtr1 = isa.Reg(17)
+	rIdx  = isa.Reg(18)
+	// rPivot holds long-lived comparison constants; emitTailWork and the
+	// other helpers never touch it.
+	rPivot = isa.Reg(20)
+)
+
+// emitScramble advances the in-program LCG held in state.
+func emitScramble(b *prog.Builder, state isa.Reg) {
+	b.Muli(state, state, 6364136223846793005)
+	b.Addi(state, state, 1442695040888963407)
+}
+
+// emitBit extracts one pseudo-random bit of state into dst.
+func emitBit(b *prog.Builder, dst, state isa.Reg, bit int64) {
+	b.Shri(dst, state, bit)
+	b.Andi(dst, dst, 1)
+}
+
+// emitRange extracts a pseudo-random value in [0, 2^bits) into dst.
+func emitRange(b *prog.Builder, dst, state isa.Reg, shift, bits int64) {
+	b.Shri(dst, state, shift)
+	b.Andi(dst, dst, 1<<bits-1)
+}
+
+// emitTailWork emits n instructions of branch-free, mildly dependent
+// arithmetic over the accumulators — the control-independent work that
+// follows a reconvergence point. Longer tails both lower a workload's
+// MPKI toward SPEC-like levels and give dynamic predication more
+// control-independent work to save from flushes.
+func emitTailWork(b *prog.Builder, n int) {
+	for i := 0; i < n; i++ {
+		switch i % 6 {
+		case 0:
+			b.Add(rAcc2, rAcc2, rAcc0)
+		case 1:
+			b.Shri(rT3, rAcc2, 3)
+		case 2:
+			b.Xor(rAcc1, rAcc1, rT3)
+		case 3:
+			b.Addi(rAcc0, rAcc0, 1)
+		case 4:
+			b.Muli(rT3, rAcc1, 3)
+		case 5:
+			b.Add(rAcc2, rAcc2, rT3)
+		}
+	}
+}

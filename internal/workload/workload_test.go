@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"dmp/internal/emu"
+	"dmp/internal/isa"
+	"dmp/internal/profile"
+	"dmp/internal/prog"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 15 {
+		t.Fatalf("got %d benchmarks, want 15", len(names))
+	}
+	for _, n := range names {
+		w, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != n || w.Desc == "" || w.Build == nil {
+			t.Errorf("%s: incomplete registration", n)
+		}
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(All()) != 15 {
+		t.Error("All() size wrong")
+	}
+}
+
+func TestAllBuildAndHalt(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Build(BuildConfig{Seed: RefSeed, Scale: 1})
+			if err := p.Validate(); err != nil {
+				t.Fatalf("invalid program: %v", err)
+			}
+			e := emu.New(p)
+			n, err := e.Run(3_000_000)
+			if err != nil {
+				t.Fatalf("emulation: %v", err)
+			}
+			if !e.Halted {
+				t.Fatalf("did not halt within 3M insts (ran %d)", n)
+			}
+			if n < 10_000 {
+				t.Errorf("only %d dynamic insts; too small to measure", n)
+			}
+			t.Logf("%s: %d dynamic instructions, %d static", w.Name, n, p.Len())
+		})
+	}
+}
+
+func TestDeterministicAcrossBuilds(t *testing.T) {
+	for _, w := range All() {
+		p1 := w.Build(BuildConfig{Seed: RefSeed})
+		p2 := w.Build(BuildConfig{Seed: RefSeed})
+		e1, e2 := emu.New(p1), emu.New(p2)
+		e1.Run(200_000) //nolint:errcheck
+		e2.Run(200_000) //nolint:errcheck
+		if e1.Count != e2.Count {
+			t.Errorf("%s: nondeterministic instruction count", w.Name)
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			if e1.Regs[r] != e2.Regs[r] {
+				t.Errorf("%s: nondeterministic r%d", w.Name, r)
+			}
+		}
+	}
+}
+
+func TestSeedsChangeExecution(t *testing.T) {
+	for _, w := range All() {
+		p1 := w.Build(BuildConfig{Seed: TrainSeed})
+		p2 := w.Build(BuildConfig{Seed: RefSeed})
+		e1, e2 := emu.New(p1), emu.New(p2)
+		e1.Run(100_000) //nolint:errcheck
+		e2.Run(100_000) //nolint:errcheck
+		same := e1.Count == e2.Count
+		for r := 0; r < isa.NumRegs && same; r++ {
+			same = e1.Regs[r] == e2.Regs[r]
+		}
+		if same {
+			t.Errorf("%s: train and ref seeds produced identical executions", w.Name)
+		}
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	for _, name := range []string{"bzip2", "mcf", "mesa"} {
+		w, _ := ByName(name)
+		p1 := w.Build(BuildConfig{Seed: RefSeed, Scale: 1})
+		p2 := w.Build(BuildConfig{Seed: RefSeed, Scale: 3})
+		e1, e2 := emu.New(p1), emu.New(p2)
+		e1.Run(0) //nolint:errcheck
+		e2.Run(0) //nolint:errcheck
+		if e2.Count < 2*e1.Count {
+			t.Errorf("%s: scale 3 ran %d vs %d at scale 1", name, e2.Count, e1.Count)
+		}
+	}
+}
+
+// TestBranchCharacter checks that each workload's misprediction profile
+// matches its SPEC namesake's role in the paper: the predictable group
+// must stay predictable and the hard group must misbehave.
+func TestBranchCharacter(t *testing.T) {
+	missRate := func(name string) float64 {
+		w, _ := ByName(name)
+		p := w.Build(BuildConfig{Seed: RefSeed})
+		rep, err := profile.Run(p, profile.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return float64(rep.TotalMispredicts) / float64(rep.TotalBranches)
+	}
+	for _, easy := range []string{"perlbmk", "eon", "vortex", "mesa"} {
+		if r := missRate(easy); r > 0.04 {
+			t.Errorf("%s: miss rate %.3f, want <= 0.04 (predictable group)", easy, r)
+		}
+	}
+	for _, hard := range []string{"bzip2", "mcf", "parser", "twolf", "vpr"} {
+		if r := missRate(hard); r < 0.05 {
+			t.Errorf("%s: miss rate %.3f, want >= 0.05 (hard group)", hard, r)
+		}
+	}
+}
+
+// TestDivergeMarking checks the profiler finds diverge branches in the
+// diverge-heavy workloads and nothing markable in gcc's spaghetti.
+func TestDivergeMarking(t *testing.T) {
+	marked := func(name string) int {
+		w, _ := ByName(name)
+		p := w.Build(BuildConfig{Seed: TrainSeed})
+		if _, err := profile.Run(p, profile.DefaultOptions()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return len(p.DivergePCs())
+	}
+	for _, n := range []string{"mcf", "parser", "twolf", "vpr", "bzip2", "fma3d"} {
+		if marked(n) == 0 {
+			t.Errorf("%s: no diverge branches marked", n)
+		}
+	}
+}
+
+// TestMcfSimpleHammock checks that mcf's dominant diverge branch is a
+// *simple* hammock (the Figure-6 signature of mcf).
+func TestMcfSimpleHammock(t *testing.T) {
+	w, _ := ByName("mcf")
+	p := w.Build(BuildConfig{Seed: TrainSeed})
+	if _, err := profile.Run(p, profile.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	simple := 0
+	for _, pc := range p.DivergePCs() {
+		if p.DivergeAt(pc).Class == prog.ClassSimpleHammock {
+			simple++
+		}
+	}
+	if simple == 0 {
+		t.Error("mcf has no simple-hammock diverge branches")
+	}
+}
+
+// TestParserComplexDiverge checks parser's production choice is a
+// complex diverge branch (calls inside the hammock).
+func TestParserComplexDiverge(t *testing.T) {
+	w, _ := ByName("parser")
+	p := w.Build(BuildConfig{Seed: TrainSeed})
+	if _, err := profile.Run(p, profile.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	complexN := 0
+	for _, pc := range p.DivergePCs() {
+		if p.DivergeAt(pc).Class == prog.ClassComplexDiverge {
+			complexN++
+		}
+	}
+	if complexN == 0 {
+		t.Error("parser has no complex diverge branches")
+	}
+}
