@@ -263,6 +263,22 @@ func BenchmarkMachineEnhancedDMP(b *testing.B) {
 	}
 }
 
+// BenchmarkAnnotatedCached measures a cache hit on the memoized
+// annotated-program path that every experiment configuration shares; it
+// should be ~free next to BenchmarkProfilePass, which is the work a miss
+// pays once per (benchmark, scale).
+func BenchmarkAnnotatedCached(b *testing.B) {
+	if _, err := exp.Annotated("parser", 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Annotated("parser", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkProfilePass(b *testing.B) {
 	w, _ := workload.ByName("parser")
 	for i := 0; i < b.N; i++ {

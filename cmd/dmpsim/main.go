@@ -140,6 +140,8 @@ func printStats(s *core.Stats) {
 		fmt.Printf("conversions       %12d early-exit, %d multiple-diverge\n", s.EarlyExits, s.MDBConversions)
 	}
 	fmt.Printf("halted            %12v\n", s.HaltRetired)
+	fmt.Printf("sim throughput    %12.0f cycles/s, %.0f retired uops/s (%.2fs wall, %d uops created)\n",
+		s.SimCyclesPerSec(), s.RetiredUopsPerSec(), s.WallSeconds, s.FetchedUops)
 }
 
 func fatal(format string, args ...interface{}) {

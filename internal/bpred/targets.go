@@ -12,6 +12,10 @@ type BTB struct {
 	assoc   int
 	setMask uint64
 	setSh   uint
+	// clock is the per-BTB LRU timestamp source. It must not be shared
+	// across BTBs: machines run in parallel, and LRU only needs relative
+	// order within one machine anyway.
+	clock uint64
 }
 
 type btbEntry struct {
@@ -42,8 +46,6 @@ func NewBTB(entries, assoc int) *BTB {
 	return b
 }
 
-var btbClock uint64
-
 // Lookup returns the predicted target for the branch at pc and whether
 // the BTB hits.
 func (b *BTB) Lookup(pc uint64) (uint64, bool) {
@@ -51,8 +53,8 @@ func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 	tag := pc >> b.setSh
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
-			btbClock++
-			set[i].lru = btbClock
+			b.clock++
+			set[i].lru = b.clock
 			return set[i].target, true
 		}
 	}
@@ -77,8 +79,8 @@ func (b *BTB) Insert(pc, target uint64) {
 			victim = i
 		}
 	}
-	btbClock++
-	set[victim] = btbEntry{valid: true, tag: tag, target: target, lru: btbClock}
+	b.clock++
+	set[victim] = btbEntry{valid: true, tag: tag, target: target, lru: b.clock}
 }
 
 // RAS is the return address stack. The core checkpoints it by value at
@@ -120,9 +122,22 @@ func (r *RAS) Pop() uint64 {
 
 // Snapshot copies the RAS state for checkpointing.
 func (r *RAS) Snapshot() RASState {
-	s := RASState{top: r.top, count: r.count, stack: make([]uint64, len(r.stack))}
-	copy(s.stack, r.stack)
+	var s RASState
+	r.SnapshotInto(&s)
 	return s
+}
+
+// SnapshotInto copies the RAS state into s, reusing s's backing storage
+// when it is large enough (checkpoint pooling: the core takes a snapshot
+// per control uop, which dominates allocation if each copy is fresh).
+func (r *RAS) SnapshotInto(s *RASState) {
+	s.top, s.count = r.top, r.count
+	if cap(s.stack) < len(r.stack) {
+		s.stack = make([]uint64, len(r.stack))
+	} else {
+		s.stack = s.stack[:len(r.stack)]
+	}
+	copy(s.stack, r.stack)
 }
 
 // Restore rewinds the RAS to a snapshot.

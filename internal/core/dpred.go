@@ -154,6 +154,26 @@ func (f *predFile) broadcast(id int, val bool) []*uop {
 	return w
 }
 
+// dropSquashedWaiters removes squashed uops from a predicate's waiter
+// list (flush cleanup: their storage is about to be recycled, and a later
+// broadcast must not dereference them).
+func (f *predFile) dropSquashedWaiters(id int) {
+	p := f.preds[id]
+	if p == nil || len(p.waiters) == 0 {
+		return
+	}
+	kept := p.waiters[:0]
+	for _, u := range p.waiters {
+		if !u.squashed {
+			kept = append(kept, u)
+		}
+	}
+	for i := len(kept); i < len(p.waiters); i++ {
+		p.waiters[i] = nil
+	}
+	p.waiters = kept
+}
+
 // await registers a uop to be woken when the predicate broadcasts. It
 // reports whether the value is already known (in which case the caller
 // should not wait).

@@ -150,6 +150,7 @@ func (m *Machine) resolveFork(u *uop, ep *episode) {
 	for _, q := range m.feq {
 		if q.ep == ep && q.stream != winner {
 			q.squashed = true
+			m.arena.recycleFEQ(q)
 			continue
 		}
 		kept = append(kept, q)
@@ -194,6 +195,7 @@ func (m *Machine) conservativeDualAbort(u *uop, ep *episode) {
 	for _, q := range m.feq {
 		if q.ep == ep && q.stream == 1 {
 			q.squashed = true
+			m.arena.recycleFEQ(q)
 			continue
 		}
 		kept = append(kept, q)

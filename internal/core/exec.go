@@ -1,9 +1,7 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 
 	"dmp/internal/isa"
 )
@@ -15,9 +13,10 @@ func (m *Machine) issueStage() {
 	width := m.cfg.IssueWidth
 	loadPorts := m.cfg.LoadPorts
 
-	// Stalled loads retry before newly ready work (they are older).
+	// Stalled loads retry before newly ready work (they are older). The
+	// replay list is kept seq-ordered at insertion (tryIssueLoad), so no
+	// per-cycle sort is needed.
 	if len(m.replayLoads) > 0 {
-		sort.Slice(m.replayLoads, func(i, j int) bool { return m.replayLoads[i].seq < m.replayLoads[j].seq })
 		still := m.replayLoads[:0]
 		for _, ld := range m.replayLoads {
 			if ld.squashed || ld.done {
@@ -40,7 +39,6 @@ func (m *Machine) issueStage() {
 	if len(m.readyQ) == 0 || width <= 0 {
 		return
 	}
-	m.sortReady()
 	rest := m.readyQ[:0]
 	for _, u := range m.readyQ {
 		if u.squashed || u.issued {
@@ -79,7 +77,7 @@ func (m *Machine) tryIssueLoad(ld *uop) bool {
 	if stall {
 		if !ld.inReplay {
 			ld.inReplay = true
-			m.replayLoads = append(m.replayLoads, ld)
+			m.replayLoads = insertBySeq(m.replayLoads, ld)
 			m.Stats.LoadStalls++
 		}
 		return false
@@ -157,9 +155,11 @@ func (m *Machine) execute(u *uop) {
 // flushing the pipeline or ending a dynamic predication episode).
 func (m *Machine) completeStage() {
 	for len(m.events) > 0 && m.events[0].at <= m.cycle {
-		ev := heap.Pop(&m.events).(event)
-		u := ev.u
+		u := m.events.pop().u
 		if u.squashed {
+			// This event was the uop's last remaining reference (the flush
+			// purged every other structure; see reclaimSquashed).
+			m.recycleSquashed(u)
 			continue
 		}
 		u.done = true
@@ -326,6 +326,7 @@ func (m *Machine) dropEpisodeAltFromFEQ(ep *episode) {
 		if q.ep == ep && (q.onAlt || q.kind == kindEnterAlt || q.kind == kindExitPred) {
 			q.squashed = true
 			q.sqBy, q.sqAt, q.sqHow = ep.divergeU.seq, m.cycle, "drop-alt-feq"
+			m.arena.recycleFEQ(q)
 			continue
 		}
 		kept = append(kept, q)
@@ -354,7 +355,8 @@ func (m *Machine) recoverFrom(b *uop) {
 			break
 		}
 	}
-	for _, u := range m.rob[cut:] {
+	dead := m.rob[cut:]
+	for _, u := range dead {
 		u.squashed = true
 		u.sqBy, u.sqAt, u.sqHow = b.seq, m.cycle, "flush-rob"
 	}
@@ -365,6 +367,10 @@ func (m *Machine) recoverFrom(b *uop) {
 	for _, q := range m.feq {
 		q.squashed = true
 		q.sqBy, q.sqAt, q.sqHow = b.seq, m.cycle, "flush-feq"
+		// Pre-rename uops are unreferenced outside the queue; the arena
+		// declines diverge branches, whose episodes (torn down just
+		// below) still read divergeU.seq.
+		m.arena.recycleFEQ(q)
 	}
 	m.feq = m.feq[:0]
 
@@ -428,4 +434,8 @@ func (m *Machine) recoverFrom(b *uop) {
 	if b.oracleHasStep && m.oracle.rewindTo(b.oracleCount) {
 		m.closeWP()
 	}
+
+	// With every structure that could still name a squashed uop now
+	// purged or restored, return the dead uops' storage to the arena.
+	m.reclaimSquashed(dead)
 }

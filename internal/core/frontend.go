@@ -27,7 +27,19 @@ func (m *Machine) feqCap() int {
 }
 
 func (m *Machine) snapFetch() *fetchSnapshot {
-	s := &fetchSnapshot{ghr: m.fetchGHR, ras: m.ras.Snapshot()}
+	var s *fetchSnapshot
+	if n := len(m.snapPool); n > 0 {
+		// Reuse a snapshot salvaged from a squashed control uop, keeping
+		// its RAS copy's backing array.
+		s = m.snapPool[n-1]
+		m.snapPool = m.snapPool[:n-1]
+		ras := s.ras
+		*s = fetchSnapshot{ras: ras}
+	} else {
+		s = &fetchSnapshot{}
+	}
+	s.ghr = m.fetchGHR
+	m.ras.SnapshotInto(&s.ras)
 	if m.feEp != nil {
 		s.epID = m.feEp.id
 		s.phase = m.feEp.phase
@@ -127,7 +139,8 @@ func (m *Machine) cfmHit(ep *episode, pc uint64) bool {
 func (m *Machine) fetchOne() (redirected, isCond bool) {
 	pc := m.fetchPC
 	in := m.prog.At(pc)
-	u := &uop{seq: m.nextSeq(), pc: pc, inst: in, kind: kindInst, stream: m.fetchStream}
+	u := m.arena.alloc()
+	u.seq, u.pc, u.inst, u.kind, u.stream = m.nextSeq(), pc, in, kindInst, m.fetchStream
 	if ep := m.feEp; ep != nil {
 		u.ep = ep
 		if ep.phase == dpAlternate {
@@ -456,6 +469,7 @@ func (m *Machine) killEpisodeAssumePredicted(ep *episode) {
 		kept := m.feq[:0]
 		for _, q := range m.feq {
 			if q.ep == ep && (q.onAlt || q.kind == kindEnterAlt || q.kind == kindExitPred) {
+				m.arena.recycleFEQ(q)
 				continue
 			}
 			kept = append(kept, q)
@@ -484,13 +498,8 @@ func (m *Machine) teardownEpisode(ep *episode) {
 
 // emitMarker pushes a predication marker uop into the front-end queue.
 func (m *Machine) emitMarker(kind uopKind, ep *episode) {
-	mu := &uop{
-		seq:  m.nextSeq(),
-		pc:   ep.divergeU.pc,
-		inst: isa.Inst{Op: isa.NOP},
-		kind: kind,
-		ep:   ep,
-	}
+	mu := m.arena.alloc()
+	mu.seq, mu.pc, mu.inst, mu.kind, mu.ep = m.nextSeq(), ep.divergeU.pc, isa.Inst{Op: isa.NOP}, kind, ep
 	m.Stats.FetchedMarkers++
 	m.pushUop(mu)
 }
@@ -527,7 +536,25 @@ func (m *Machine) openWP() {
 		m.traceWP("pause")
 	}
 	m.wpNextID++
+	if n := len(m.wpPool); n > 0 {
+		e := m.wpPool[n-1]
+		m.wpPool = m.wpPool[:n-1]
+		e.id = m.wpNextID
+		m.wpOpen = e
+		return
+	}
 	m.wpOpen = &wpEpisode{id: m.wpNextID, firstSeen: map[uint64]int{}, split: -1}
+}
+
+// recycleWP resets a finished episode for reuse, keeping the PC log's
+// capacity and the map's buckets (episodes are opened at every oracle
+// pause, so fresh allocations here add up).
+func (m *Machine) recycleWP(e *wpEpisode) {
+	e.pcs = e.pcs[:0]
+	clear(e.firstSeen)
+	e.split = -1
+	e.watchLeft = 0
+	m.wpPool = append(m.wpPool, e)
 }
 
 // recordWrongFetch logs a wrong-path fetched PC into the open episode.
@@ -559,6 +586,7 @@ func (m *Machine) closeWP() {
 	e := m.wpOpen
 	m.wpOpen = nil
 	if len(e.pcs) == 0 {
+		m.recycleWP(e)
 		return
 	}
 	e.watchLeft = 512
@@ -580,6 +608,7 @@ func (m *Machine) feedWPWatchers(pc uint64) {
 		e.watchLeft--
 		if e.watchLeft <= 0 || e.split == 0 {
 			m.finishWP(e)
+			m.recycleWP(e)
 			continue
 		}
 		kept = append(kept, e)

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"time"
 
 	"dmp/internal/bpred"
 	"dmp/internal/cache"
@@ -36,6 +35,9 @@ type Machine struct {
 	checker *emu.Emulator
 
 	// Pipeline.
+	arena           uopArena
+	snapPool        []*fetchSnapshot // salvaged from squashed control uops
+	ckptPool        []*ratCheckpoint // salvaged from squashed branches
 	cycle           uint64
 	seq             uint64
 	fetchPC         uint64
@@ -75,6 +77,7 @@ type Machine struct {
 	// Wrong-path classification (Figure 1).
 	wpOpen     *wpEpisode
 	wpWatching []*wpEpisode
+	wpPool     []*wpEpisode // finished episodes, PC log and map kept for reuse
 	wpNextID   int
 
 	// traceWP, when set, is called on oracle pause/resume (debugging).
@@ -172,6 +175,7 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 // Run simulates until the program halts or a run limit is reached, and
 // returns the statistics. A golden-model divergence returns an error.
 func (m *Machine) Run() (*Stats, error) {
+	start := time.Now()
 	lastRetired := uint64(0)
 	lastProgress := uint64(0)
 	for !m.halted && m.runErr == nil {
@@ -199,7 +203,12 @@ func (m *Machine) Run() (*Stats, error) {
 		}
 	}
 	m.Stats.Cycles = m.cycle
+	m.Stats.FetchedUops = m.arena.allocated
+	m.Stats.WallSeconds = time.Since(start).Seconds()
 	m.flushWPAll()
+	// The pipeline is permanently stopped: no uop will be dereferenced
+	// again, so the slabs can go back to the shared pool.
+	m.arena.release()
 	if m.runErr != nil {
 		return &m.Stats, m.runErr
 	}
@@ -251,26 +260,64 @@ type event struct {
 	u  *uop
 }
 
+// eventHeap is a typed binary min-heap on event.at with direct push/pop
+// methods — no interface{} boxing and no virtual Less/Swap calls on the
+// completeStage hot path. The sift logic mirrors container/heap exactly
+// so equal-cycle events pop in the same order they always did.
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+// push adds an event and sifts it up.
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].at <= s[i].at {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+	*h = s
+}
+
+// pop removes and returns the earliest event. The heap must be non-empty.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	e := s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && s[r].at < s[l].at {
+			j = r
+		}
+		if s[i].at <= s[j].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	*h = s
 	return e
 }
 
 func (m *Machine) schedule(u *uop, at uint64) {
-	heap.Push(&m.events, event{at: at, u: u})
+	m.events.push(event{at: at, u: u})
 }
 
 // enqueueReady puts a uop on the ready queue if it is fully ready and not
-// already issued, queued, or squashed.
+// already issued, queued, or squashed. The queue is kept ordered oldest
+// first (the select policy) by inserting from the tail: uops become ready
+// nearly in age order, so the insertion point is almost always the end and
+// the per-cycle full sort this replaces is avoided entirely. Ties (select
+// uops share the exit marker's seq) keep arrival order.
 func (m *Machine) enqueueReady(u *uop) {
 	if u.squashed || u.issued || u.inReady || !u.renamed {
 		return
@@ -282,10 +329,18 @@ func (m *Machine) enqueueReady(u *uop) {
 		return
 	}
 	u.inReady = true
-	m.readyQ = append(m.readyQ, u)
+	m.readyQ = insertBySeq(m.readyQ, u)
 }
 
-// sortReady orders the ready queue oldest first (the select policy).
-func (m *Machine) sortReady() {
-	sort.Slice(m.readyQ, func(i, j int) bool { return m.readyQ[i].seq < m.readyQ[j].seq })
+// insertBySeq inserts u into the seq-ascending slice q, shifting from the
+// tail. Equal seqs place u after the existing entries (stable).
+func insertBySeq(q []*uop, u *uop) []*uop {
+	q = append(q, u)
+	i := len(q) - 1
+	for i > 0 && q[i-1].seq > u.seq {
+		q[i] = q[i-1]
+		i--
+	}
+	q[i] = u
+	return q
 }

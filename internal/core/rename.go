@@ -175,7 +175,7 @@ func (m *Machine) renameInst(u *uop) {
 		// Per-branch RAT checkpoint for misprediction recovery (taken
 		// after the instruction's own destination renames, so a
 		// mispredicted CALLR recovers with its link value mapped).
-		u.checkpoint = r.snapshot()
+		u.checkpoint = m.snapshotRAT(r)
 	case isa.LD:
 		u.isLoad = true
 	case isa.ST:
@@ -247,18 +247,11 @@ func (m *Machine) queueSelects(ep *episode, exitSeq uint64) {
 // (predicted path) : active value (alternate path).
 func (m *Machine) insertSelect(req selReq) {
 	ep := m.selEp
-	su := &uop{
-		seq:     m.selExitSeq,
-		pc:      ep.divergeU.pc,
-		inst:    isa.Inst{Op: isa.NOP},
-		kind:    kindSelect,
-		ep:      ep,
-		selPred: ep.predID1,
-		hasDst:  true,
-		dstArch: req.reg,
-		numSrc:  3,
-		renamed: true,
-	}
+	su := m.arena.alloc()
+	su.seq, su.pc, su.inst, su.kind = m.selExitSeq, ep.divergeU.pc, isa.Inst{Op: isa.NOP}, kindSelect
+	su.ep, su.selPred = ep, ep.predID1
+	su.hasDst, su.dstArch = true, req.reg
+	su.numSrc, su.renamed = 3, true
 	su.src1 = m.operandFrom(req.fromCP2, su, 1, req.reg)
 	su.src2 = operand{ready: true}
 	su.src3 = m.operandFrom(req.fromRAT, su, 3, req.reg)

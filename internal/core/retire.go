@@ -24,6 +24,7 @@ func (m *Machine) retireStage() {
 			return
 		}
 		m.rob = m.rob[1:]
+		m.salvageRetired(u)
 		m.retireOne(u)
 		if m.halted || m.runErr != nil {
 			return

@@ -61,6 +61,33 @@ type Stats struct {
 
 	// HaltRetired reports whether the program ran to completion.
 	HaltRetired bool
+
+	// Simulator throughput. FetchedUops counts every window entry the
+	// machine created (program instructions, markers and select-uops,
+	// wrong path included); WallSeconds is the host wall-clock time of
+	// Machine.Run. Both describe the simulator, not the simulated machine,
+	// so they are excluded from experiment tables and determinism
+	// comparisons.
+	FetchedUops uint64
+	WallSeconds float64
+}
+
+// SimCyclesPerSec returns simulated cycles per host wall-clock second.
+func (s *Stats) SimCyclesPerSec() float64 {
+	if s.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(s.Cycles) / s.WallSeconds
+}
+
+// RetiredUopsPerSec returns retired window entries (program instructions,
+// FALSE-predicate instructions, selects and markers) per host wall-clock
+// second.
+func (s *Stats) RetiredUopsPerSec() float64 {
+	if s.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(s.CommittedWork()) / s.WallSeconds
 }
 
 // IPC returns retired instructions per cycle.

@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -54,17 +55,29 @@ func (o Options) norm() Options {
 	return o
 }
 
-// Annotated builds the measurement (reference-input) program for a
+// Annotated returns the measurement (reference-input) program for a
 // benchmark with diverge-branch annotations transferred from a profiling
-// run on the training input — the paper's train/ref methodology.
+// run on the training input — the paper's train/ref methodology. The
+// result is memoized per (bench, scale) and shared by every machine
+// configuration; it must be treated as read-only (see cache.go for the
+// sharing invariant).
 func Annotated(bench string, scale int) (*prog.Program, error) {
+	return annotatedCached(bench, scale, false)
+}
+
+// buildAnnotated is the uncached builder behind Annotated: workload
+// build, training profile, annotation transfer. loops additionally marks
+// backward (loop) diverge branches (Section 2.7.4).
+func buildAnnotated(bench string, scale int, loops bool) (*prog.Program, error) {
 	w, err := workload.ByName(bench)
 	if err != nil {
 		return nil, err
 	}
 	train := w.Build(workload.BuildConfig{Seed: workload.TrainSeed, Scale: scale})
-	if _, err := profile.Run(train, profile.DefaultOptions()); err != nil {
-		return nil, fmt.Errorf("%s: profile: %w", bench, err)
+	popts := profile.DefaultOptions()
+	popts.IncludeLoops = loops
+	if _, err := profile.Run(train, popts); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
 	}
 	ref := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: scale})
 	// The code image is identical across seeds (only data differs), so
@@ -88,7 +101,9 @@ func runOne(bench string, cfg core.Config, o Options) (*core.Stats, error) {
 	}
 	st, err := m.Run()
 	if err != nil {
-		return nil, fmt.Errorf("%s under %v: %w", bench, cfg.Mode, err)
+		// The benchmark name is attached by the caller (runSuite names
+		// every failing benchmark at its errors.Join point).
+		return nil, fmt.Errorf("under %v: %w", cfg.Mode, err)
 	}
 	return st, nil
 }
@@ -111,10 +126,17 @@ func runSuite(cfg core.Config, o Options) ([]*core.Stats, error) {
 		}(i, bench)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var failed []error
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			failed = append(failed, fmt.Errorf("%s: %w", o.Benchmarks[i], err))
 		}
+	}
+	if len(failed) > 0 {
+		// Report every failing benchmark, not just the first: a core bug
+		// usually breaks several workloads at once and the full list is
+		// the diagnostic.
+		return nil, errors.Join(failed...)
 	}
 	return stats, nil
 }

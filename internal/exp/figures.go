@@ -78,15 +78,23 @@ func Figure6(o Options) (*Table, error) {
 	t := &Table{ID: "fig6", Title: "Mispredicted branch taxonomy, MPKI (paper Figure 6)",
 		Header: []string{"bench", "simple-hammock", "complex-diverge", "other", "total-mpki"}}
 	for _, bench := range o.Benchmarks {
-		p, err := Annotated(bench, o.Scale)
-		if err != nil {
-			return nil, err
-		}
 		// Attribute mispredictions on the reference input with the same
-		// predictor family as the machine.
+		// predictor family as the machine. profile.Run annotates its
+		// argument in place (ClearDiverge + ref-derived MarkDiverge), so it
+		// must run on a private build, never on the shared cached program —
+		// see the sharing invariant in cache.go. The taxonomy below reads
+		// the ref-derived marks, exactly as it always has: the training
+		// annotations were cleared by this very profile pass before the
+		// cache existed, so a fresh ref build is byte-identical (and
+		// skips a now-useless training run).
+		w, err := workload.ByName(bench)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bench, err)
+		}
+		p := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: o.Scale})
 		rep, err := profile.Run(p, profile.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s: %w", bench, err)
 		}
 		var mpki [3]float64
 		for _, bs := range rep.Branches {
@@ -400,24 +408,12 @@ func DualPath(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Annotated2 is Annotated with loop-diverge marking enabled (Section
-// 2.7.4 future work).
+// annotatedLoops is Annotated with loop-diverge marking enabled (Section
+// 2.7.4 future work). Cached under its own key: the loop-marked program
+// carries extra annotations and must never be confused with the default
+// one.
 func annotatedLoops(bench string, scale int) (*prog.Program, error) {
-	w, err := workload.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	train := w.Build(workload.BuildConfig{Seed: workload.TrainSeed, Scale: scale})
-	popts := profile.DefaultOptions()
-	popts.IncludeLoops = true
-	if _, err := profile.Run(train, popts); err != nil {
-		return nil, err
-	}
-	ref := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: scale})
-	for pc, d := range train.Diverge {
-		ref.MarkDiverge(pc, d)
-	}
-	return ref, nil
+	return annotatedCached(bench, scale, true)
 }
 
 // LoopDiverge evaluates the diverge loop branch extension (Section 2.7.4
