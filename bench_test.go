@@ -13,6 +13,7 @@ package bench
 
 import (
 	"strconv"
+	"sync"
 	"testing"
 
 	"dmp/internal/bpred"
@@ -41,6 +42,10 @@ func runFigure(b *testing.B, id string, metricCols map[string]int) {
 	}
 	var t *exp.Table
 	for i := 0; i < b.N; i++ {
+		// Drop cached simulation results (keep the memoized annotated
+		// programs) so every iteration measures this experiment's own
+		// simulations, not hits on results another benchmark ran first.
+		exp.ResetResults()
 		var err error
 		t, err = gen(benchOpts())
 		if err != nil {
@@ -87,6 +92,36 @@ func BenchmarkFigure13b(b *testing.B) {
 }
 func BenchmarkDualPath(b *testing.B) {
 	runFigure(b, "dualpath", map[string]int{"dual%": 1, "dhp%": 2, "dmp%": 3})
+}
+
+// BenchmarkAllExperiments tracks the full evaluation suite the way
+// cmd/dmpexp runs it: every experiment generated concurrently against a
+// cold process-wide result cache, each unique (benchmark, config, scale,
+// check) pair simulated exactly once. This is the wall-clock number the
+// result-cache + global-scheduler work optimizes (BENCH_expcache.json).
+func BenchmarkAllExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Reset()
+		ids := exp.IDs()
+		errs := make([]error, len(ids))
+		var wg sync.WaitGroup
+		for j, id := range ids {
+			wg.Add(1)
+			go func(j int, id string) {
+				defer wg.Done()
+				_, errs[j] = exp.All[id](benchOpts())
+			}(j, id)
+		}
+		wg.Wait()
+		for j, err := range errs {
+			if err != nil {
+				b.Fatalf("%s: %v", ids[j], err)
+			}
+		}
+	}
+	hits, misses := exp.SimCounts()
+	b.ReportMetric(float64(misses), "sims/run")
+	b.ReportMetric(float64(hits), "reused/run")
 }
 
 // --- ablation benchmarks (design choices called out in DESIGN.md) ---

@@ -7,10 +7,20 @@
 //	dmpexp -bench mcf,twolf fig8 # restrict the suite
 //
 // Experiment ids: table2 table3 fig1 fig6 fig7 fig8 fig9 fig10 fig11
-// fig12 fig13a fig13b dualpath.
+// fig12 fig13a fig13b dualpath loopdiverge (the authoritative list is
+// exp.IDs(), which the usage error prints).
+//
+// All requested experiments generate concurrently: the process-wide
+// result cache in internal/exp simulates each unique (benchmark, config,
+// scale, check) pair exactly once, and a global worker pool (-parallel,
+// default NumCPU) bounds the simulations in flight across every
+// experiment. Tables print to stdout in the requested order regardless of
+// completion order; per-experiment timing and the cache hit/miss summary
+// go to stderr so stdout stays byte-stable for golden diffs.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +35,7 @@ func main() {
 		scale   = flag.Int("scale", 3, "workload scale factor")
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
 		nocheck = flag.Bool("nocheck", false, "disable the golden-model checker (faster)")
-		par     = flag.Int("parallel", 0, "worker goroutines (default NumCPU)")
+		par     = flag.Int("parallel", 0, "simulation worker cap, shared by all experiments (default NumCPU)")
 	)
 	flag.Parse()
 
@@ -46,18 +56,52 @@ func main() {
 		ids = exp.IDs()
 	}
 	for _, id := range ids {
-		gen := exp.All[id]
-		if gen == nil {
+		if exp.All[id] == nil {
 			fmt.Fprintf(os.Stderr, "dmpexp: unknown experiment %q (known: %s)\n", id, strings.Join(exp.IDs(), " "))
 			os.Exit(2)
 		}
-		start := time.Now()
-		t, err := gen(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmpexp: %s: %v\n", id, err)
-			os.Exit(1)
+	}
+
+	type result struct {
+		table   *exp.Table
+		err     error
+		elapsed time.Duration
+		done    chan struct{}
+	}
+	results := make([]*result, len(ids))
+	start := time.Now()
+	for i, id := range ids {
+		r := &result{done: make(chan struct{})}
+		results[i] = r
+		go func(id string, r *result) {
+			defer close(r.done)
+			t0 := time.Now()
+			r.table, r.err = exp.All[id](opts)
+			r.elapsed = time.Since(t0)
+		}(id, r)
+	}
+
+	// Present in the requested order, streaming each table as soon as it
+	// (and everything before it) is ready. A failing experiment does not
+	// abort the rest: every table that succeeded still prints, and the
+	// joined errors decide the exit status at the end.
+	var failed []error
+	for i, id := range ids {
+		r := results[i]
+		<-r.done
+		if r.err != nil {
+			failed = append(failed, fmt.Errorf("%s: %w", id, r.err))
+			fmt.Fprintf(os.Stderr, "dmpexp: %s: %v\n", id, r.err)
+			continue
 		}
-		fmt.Print(t.String())
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Print(r.table.String())
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", id, r.elapsed.Seconds())
+	}
+	hits, misses := exp.SimCounts()
+	fmt.Fprintf(os.Stderr, "total %.1fs; result cache: %d simulations, %d reused\n",
+		time.Since(start).Seconds(), misses, hits)
+	if err := errors.Join(failed...); err != nil {
+		os.Exit(1)
 	}
 }

@@ -157,6 +157,53 @@ func DHPConfig() Config {
 	return c
 }
 
+// Canonical returns a semantically equivalent Config normalized for use
+// as a cache key. Config is a flat comparable struct, so the canonical
+// value can index a map directly; two configurations that would drive
+// bit-identical simulations canonicalize to the same value. It
+//
+//   - spells out defaulted predictor names ("" is the perceptron, and ""
+//     confidence is JRS — the same choices Machine construction makes);
+//   - folds the dynamic-predication knobs to their zero values for modes
+//     that never enter an episode (baseline and perfect-CBP consult none
+//     of them — maybeEnterDP returns before any is read);
+//   - folds EarlyExitDefault when EarlyExit is off (the threshold is
+//     stored per episode but only ever compared under the EarlyExit
+//     flag);
+//   - folds CheckRetirement, which changes wall-clock but never a single
+//     Stats bit. Callers that want checked and unchecked runs kept apart
+//     (the experiment result cache does, so a cache hit always ran with
+//     the same checking the caller asked for) must carry it beside the
+//     canonical Config in their key.
+//
+// ConfidenceName is deliberately NOT folded for any mode: every fetched
+// conditional branch consults the estimator and the LowConfCorrect /
+// LowConfWrong counters differ between estimators even on the baseline.
+func (c Config) Canonical() Config {
+	if c.PredictorName == "" {
+		c.PredictorName = "perceptron"
+	}
+	if c.ConfidenceName == "" {
+		c.ConfidenceName = "jrs"
+	}
+	switch c.Mode {
+	case ModeBaseline, ModePerfect:
+		c.MultipleCFM = false
+		c.EarlyExit = false
+		c.EarlyExitDefault = 0
+		c.MultipleDiverge = false
+		c.EnableLoopDiverge = false
+		c.SelectiveBPUpdate = false
+		c.KeepAlternateGHR = false
+	default:
+		if !c.EarlyExit {
+			c.EarlyExitDefault = 0
+		}
+	}
+	c.CheckRetirement = false
+	return c
+}
+
 // Validate reports configuration errors.
 func (c *Config) Validate() error {
 	switch {

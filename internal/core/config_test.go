@@ -1,0 +1,102 @@
+package core
+
+import "testing"
+
+// TestCanonicalNormalizesDefaultNames pins that defaulted predictor and
+// confidence names canonicalize to the concrete choices machine
+// construction makes, so a Config written with "" and one written with
+// the explicit default produce the same cache key.
+func TestCanonicalNormalizesDefaultNames(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.PredictorName = ""
+	b.ConfidenceName = ""
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("defaulted names canonicalize differently:\n%+v\n%+v", a.Canonical(), b.Canonical())
+	}
+	if got := b.Canonical(); got.PredictorName != "perceptron" || got.ConfidenceName != "jrs" {
+		t.Errorf("canonical names = %q/%q, want perceptron/jrs", got.PredictorName, got.ConfidenceName)
+	}
+}
+
+// TestCanonicalFoldsPredicationKnobsForBaseline pins that the
+// dynamic-predication knobs — never consulted outside an episode — fold
+// away for the baseline and perfect-CBP machines, but survive for modes
+// that predicate.
+func TestCanonicalFoldsPredicationKnobsForBaseline(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModePerfect} {
+		plain := DefaultConfig()
+		plain.Mode = mode
+		knobbed := plain
+		knobbed.MultipleCFM = true
+		knobbed.EarlyExit = true
+		knobbed.MultipleDiverge = true
+		knobbed.EnableLoopDiverge = true
+		knobbed.SelectiveBPUpdate = true
+		knobbed.KeepAlternateGHR = true
+		if plain.Canonical() != knobbed.Canonical() {
+			t.Errorf("%v: predication knobs not folded", mode)
+		}
+	}
+	basic := DMPConfig()
+	enhanced := EnhancedDMPConfig()
+	if basic.Canonical() == enhanced.Canonical() {
+		t.Error("DMP enhancements folded away — they change the simulation")
+	}
+	dhp := DHPConfig()
+	dhpKnobbed := DHPConfig()
+	dhpKnobbed.MultipleCFM = true
+	if dhp.Canonical() == dhpKnobbed.Canonical() {
+		t.Error("DHP MultipleCFM folded away — DHP enters episodes and reads it")
+	}
+}
+
+// TestCanonicalKeepsConfidenceName pins that ConfidenceName is never
+// folded: even the baseline consults the estimator on every fetched
+// conditional branch (the LowConfCorrect/LowConfWrong counters differ).
+func TestCanonicalKeepsConfidenceName(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.ConfidenceName = "perfect"
+	if a.Canonical() == b.Canonical() {
+		t.Error("ConfidenceName folded for baseline; it changes Stats")
+	}
+}
+
+// TestCanonicalFoldsEarlyExitDefaultWhenOff pins that the static early
+// exit threshold only matters under the EarlyExit flag.
+func TestCanonicalFoldsEarlyExitDefaultWhenOff(t *testing.T) {
+	a := DMPConfig()
+	b := DMPConfig()
+	b.EarlyExitDefault = 999
+	if a.Canonical() != b.Canonical() {
+		t.Error("EarlyExitDefault not folded with EarlyExit off")
+	}
+	a.EarlyExit = true
+	b.EarlyExit = true
+	if a.Canonical() == b.Canonical() {
+		t.Error("EarlyExitDefault folded with EarlyExit on — it sets episode thresholds")
+	}
+}
+
+// TestCanonicalFoldsCheckRetirement pins that the golden checker never
+// changes results, only wall-clock: callers key it separately.
+func TestCanonicalFoldsCheckRetirement(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.CheckRetirement = !a.CheckRetirement
+	if a.Canonical() != b.Canonical() {
+		t.Error("CheckRetirement not folded")
+	}
+}
+
+// TestCanonicalIdempotent: canonicalizing twice is a no-op, so cache
+// layers can canonicalize defensively without splitting keys.
+func TestCanonicalIdempotent(t *testing.T) {
+	for _, c := range []Config{DefaultConfig(), DMPConfig(), DHPConfig(), EnhancedDMPConfig()} {
+		once := c.Canonical()
+		if once != once.Canonical() {
+			t.Errorf("Canonical not idempotent for %v", c.Mode)
+		}
+	}
+}

@@ -72,6 +72,14 @@ type Stats struct {
 	WallSeconds float64
 }
 
+// Clone returns an independent copy of s. Results shared through the
+// experiment result cache are frozen; a caller that wants to mutate one
+// (accumulate, rescale, zero a field) must work on a Clone.
+func (s *Stats) Clone() *Stats {
+	c := *s
+	return &c
+}
+
 // SimCyclesPerSec returns simulated cycles per host wall-clock second.
 func (s *Stats) SimCyclesPerSec() float64 {
 	if s.WallSeconds <= 0 {

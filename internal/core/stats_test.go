@@ -5,6 +5,25 @@ import (
 	"testing"
 )
 
+// TestStatsClone pins that Clone detaches completely: mutating the clone
+// (or the original) never shows through, so frozen cached results stay
+// frozen.
+func TestStatsClone(t *testing.T) {
+	s := &Stats{Cycles: 7, RetiredInsts: 11, ExitCases: [7]uint64{1, 2, 3, 4, 5, 6, 0}}
+	c := s.Clone()
+	if c == s {
+		t.Fatal("Clone returned the same pointer")
+	}
+	if *c != *s {
+		t.Fatalf("Clone differs: %+v vs %+v", c, s)
+	}
+	c.RetiredInsts++
+	c.ExitCases[2]++
+	if s.RetiredInsts != 11 || s.ExitCases[2] != 3 {
+		t.Errorf("mutating the clone leaked into the original: %+v", s)
+	}
+}
+
 func TestStatsDerivedMetrics(t *testing.T) {
 	s := &Stats{
 		Cycles:             1000,

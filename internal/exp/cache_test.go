@@ -85,13 +85,15 @@ func TestFigure6LeavesCacheIntact(t *testing.T) {
 // build-once memoization: every worker of every suite hits
 // annotatedCached at once, and all must agree with a serial run.
 func TestParallelSuitesShareCache(t *testing.T) {
-	resetProgramCache()
+	Reset()
 	o := Options{Scale: 1, Benchmarks: []string{"mcf", "twolf", "perlbmk"}, Check: true}
 	want, err := runSuite(core.DMPConfig(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resetProgramCache()
+	// Full Reset (programs AND results): the point is that concurrent
+	// suites rebuild and re-simulate from cold, racing on both caches.
+	Reset()
 	const suites = 4
 	got := make([][]*core.Stats, suites)
 	errs := make([]error, suites)

@@ -33,7 +33,9 @@ type Options struct {
 	// Check enables the golden-model retirement checker (default on; it
 	// costs ~20% and has caught every core bug so far).
 	Check bool
-	// Parallel bounds worker goroutines (default NumCPU).
+	// Parallel bounds simulation worker goroutines (default NumCPU).
+	// The cap is process-level, shared by every concurrently running
+	// experiment: the first run fixes the pool size (see simcache.go).
 	Parallel int
 }
 
@@ -88,41 +90,21 @@ func buildAnnotated(bench string, scale int, loops bool) (*prog.Program, error) 
 	return ref, nil
 }
 
-// runOne simulates one benchmark under one configuration.
-func runOne(bench string, cfg core.Config, o Options) (*core.Stats, error) {
-	p, err := Annotated(bench, o.Scale)
-	if err != nil {
-		return nil, err
-	}
-	cfg.CheckRetirement = o.Check
-	m, err := core.New(p, cfg)
-	if err != nil {
-		return nil, err
-	}
-	st, err := m.Run()
-	if err != nil {
-		// The benchmark name is attached by the caller (runSuite names
-		// every failing benchmark at its errors.Join point).
-		return nil, fmt.Errorf("under %v: %w", cfg.Mode, err)
-	}
-	return st, nil
-}
-
-// runSuite runs every benchmark under cfg in parallel, returning stats in
-// benchmark order.
+// runSuite runs every benchmark under cfg, returning shared frozen stats
+// in benchmark order (Clone before mutating — see simcache.go). o must
+// already be normalized (o.norm()); every exported experiment normalizes
+// once at its entry point. Each benchmark goroutine only ties up a global
+// worker slot while its simulation actually runs; repeats resolve from
+// the result cache.
 func runSuite(cfg core.Config, o Options) ([]*core.Stats, error) {
-	o = o.norm()
 	stats := make([]*core.Stats, len(o.Benchmarks))
 	errs := make([]error, len(o.Benchmarks))
-	sem := make(chan struct{}, o.Parallel)
 	var wg sync.WaitGroup
 	for i, bench := range o.Benchmarks {
 		wg.Add(1)
 		go func(i int, bench string) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			stats[i], errs[i] = runOne(bench, cfg, o)
+			stats[i], errs[i] = runOneCached(bench, cfg, o, false)
 		}(i, bench)
 	}
 	wg.Wait()
@@ -139,6 +121,30 @@ func runSuite(cfg core.Config, o Options) ([]*core.Stats, error) {
 		return nil, errors.Join(failed...)
 	}
 	return stats, nil
+}
+
+// runSuites runs one suite per configuration concurrently, returning
+// stats as [config][benchmark]. The figures that compare machines (7, 9,
+// 11, 12, the sweeps, dual-path) used to run their suites back to back;
+// launching them together lets the global pool keep every worker busy
+// across configuration boundaries, and the result cache deduplicates any
+// configuration another experiment already ran.
+func runSuites(cfgs []core.Config, o Options) ([][]*core.Stats, error) {
+	all := make([][]*core.Stats, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg core.Config) {
+			defer wg.Done()
+			all[i], errs[i] = runSuite(cfg, o)
+		}(i, cfg)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return all, nil
 }
 
 // --- table rendering ---

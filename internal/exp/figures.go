@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dmp/internal/core"
 	"dmp/internal/profile"
@@ -72,47 +74,98 @@ func Figure1(o Options) (*Table, error) {
 
 // Figure6 reproduces the misprediction taxonomy: mispredictions per
 // thousand instructions split into simple-hammock diverge, complex
-// diverge, and other complex branches.
+// diverge, and other complex branches. The per-benchmark profiling runs
+// are independent, so they run concurrently under the global worker pool.
 func Figure6(o Options) (*Table, error) {
 	o = o.norm()
 	t := &Table{ID: "fig6", Title: "Mispredicted branch taxonomy, MPKI (paper Figure 6)",
 		Header: []string{"bench", "simple-hammock", "complex-diverge", "other", "total-mpki"}}
-	for _, bench := range o.Benchmarks {
-		// Attribute mispredictions on the reference input with the same
-		// predictor family as the machine. profile.Run annotates its
-		// argument in place (ClearDiverge + ref-derived MarkDiverge), so it
-		// must run on a private build, never on the shared cached program —
-		// see the sharing invariant in cache.go. The taxonomy below reads
-		// the ref-derived marks, exactly as it always has: the training
-		// annotations were cleared by this very profile pass before the
-		// cache existed, so a fresh ref build is byte-identical (and
-		// skips a now-useless training run).
-		w, err := workload.ByName(bench)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", bench, err)
-		}
-		p := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: o.Scale})
-		rep, err := profile.Run(p, profile.DefaultOptions())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", bench, err)
-		}
-		var mpki [3]float64
-		for _, bs := range rep.Branches {
-			cls := 2 // other
-			if dv := p.DivergeAt(bs.PC); dv != nil {
-				if dv.Class == prog.ClassSimpleHammock {
-					cls = 0
-				} else {
-					cls = 1
-				}
+	mpkis := make([][3]float64, len(o.Benchmarks))
+	ks := make([]float64, len(o.Benchmarks))
+	errs := make([]error, len(o.Benchmarks))
+	slots := workerSlots(o.Parallel)
+	var wg sync.WaitGroup
+	for i, bench := range o.Benchmarks {
+		wg.Add(1)
+		go func(i int, bench string) {
+			defer wg.Done()
+			slots <- struct{}{}
+			defer func() { <-slots }()
+			// Attribute mispredictions on the reference input with the same
+			// predictor family as the machine. profile.Run annotates its
+			// argument in place (ClearDiverge + ref-derived MarkDiverge), so it
+			// must run on a private build, never on the shared cached program —
+			// see the sharing invariant in cache.go. The taxonomy below reads
+			// the ref-derived marks, exactly as it always has: the training
+			// annotations were cleared by this very profile pass before the
+			// cache existed, so a fresh ref build is byte-identical (and
+			// skips a now-useless training run).
+			w, err := workload.ByName(bench)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", bench, err)
+				return
 			}
-			mpki[cls] += float64(bs.Mispredicts)
-		}
-		k := 1000 / float64(rep.TotalInsts)
+			p := w.Build(workload.BuildConfig{Seed: workload.RefSeed, Scale: o.Scale})
+			rep, err := profile.Run(p, profile.DefaultOptions())
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", bench, err)
+				return
+			}
+			for _, bs := range rep.Branches {
+				cls := 2 // other
+				if dv := p.DivergeAt(bs.PC); dv != nil {
+					if dv.Class == prog.ClassSimpleHammock {
+						cls = 0
+					} else {
+						cls = 1
+					}
+				}
+				mpkis[i][cls] += float64(bs.Mispredicts)
+			}
+			ks[i] = 1000 / float64(rep.TotalInsts)
+		}(i, bench)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	for i, bench := range o.Benchmarks {
+		mpki, k := mpkis[i], ks[i]
 		t.AddRow(bench, f2(mpki[0]*k), f2(mpki[1]*k), f2(mpki[2]*k),
 			f2((mpki[0]+mpki[1]+mpki[2])*k))
 	}
 	t.Note = "paper: diverge branches cover ~57% of mispredictions, simple hammocks ~9%; mcf is hammock-dominated, gcc is 'other'"
+	return t, nil
+}
+
+// improvementTable runs the baseline and each comparison configuration
+// over the suite — all concurrently — and renders the % IPC improvement
+// of every configuration over the baseline per benchmark, with a trailing
+// amean row. Figures 7 and 9 and the dual-path table share this exact
+// shape.
+func improvementTable(id, title string, names []string, cfgs []core.Config, o Options) (*Table, error) {
+	o = o.norm()
+	all, err := runSuites(append([]core.Config{core.DefaultConfig()}, cfgs...), o)
+	if err != nil {
+		return nil, err
+	}
+	base, rest := all[0], all[1:]
+	t := &Table{ID: id, Title: title, Header: append([]string{"bench"}, names...)}
+	cols := make([][]float64, len(cfgs))
+	for bi, bench := range o.Benchmarks {
+		row := []string{bench}
+		for ci := range cfgs {
+			imp := pctImp(rest[ci][bi], base[bi])
+			cols[ci] = append(cols[ci], imp)
+			row = append(row, f1(imp))
+		}
+		t.AddRow(row...)
+	}
+	meanRow := []string{"amean"}
+	for ci := range cols {
+		meanRow = append(meanRow, f1(amean(cols[ci])))
+	}
+	t.AddRow(meanRow...)
 	return t, nil
 }
 
@@ -134,39 +187,12 @@ func figure7Configs() (names []string, cfgs []core.Config) {
 // improvement over the baseline for DHP and basic DMP with real and
 // perfect confidence, plus the perfect-predictor ceiling.
 func Figure7(o Options) (*Table, error) {
-	o = o.norm()
-	base, err := runSuite(core.DefaultConfig(), o)
-	if err != nil {
-		return nil, err
-	}
 	names, cfgs := figure7Configs()
-	t := &Table{ID: "fig7", Title: "% IPC improvement over baseline (paper Figure 7)",
-		Header: append([]string{"bench"}, names...)}
-	cols := make([][]float64, len(cfgs))
-	allStats := make([][]*core.Stats, len(cfgs))
-	for ci, cfg := range cfgs {
-		st, err := runSuite(cfg, o)
-		if err != nil {
-			return nil, err
-		}
-		allStats[ci] = st
+	t, err := improvementTable("fig7", "% IPC improvement over baseline (paper Figure 7)", names, cfgs, o)
+	if err == nil {
+		t.Note = "paper (amean): DHP-jrs 2.8, DHP-perf 3.4, diverge-jrs 5.0, diverge-perf 19, perfect-cbp 48"
 	}
-	for bi, bench := range o.Benchmarks {
-		row := []string{bench}
-		for ci := range cfgs {
-			imp := pctImp(allStats[ci][bi], base[bi])
-			cols[ci] = append(cols[ci], imp)
-			row = append(row, f1(imp))
-		}
-		t.AddRow(row...)
-	}
-	meanRow := []string{"amean"}
-	for ci := range cfgs {
-		meanRow = append(meanRow, f1(amean(cols[ci])))
-	}
-	t.AddRow(meanRow...)
-	t.Note = "paper (amean): DHP-jrs 2.8, DHP-perf 3.4, diverge-jrs 5.0, diverge-perf 19, perfect-cbp 48"
-	return t, nil
+	return t, err
 }
 
 // exitCaseTable renders the Table-1 exit-case distribution of a
@@ -209,11 +235,6 @@ func Figure8(o Options) (*Table, error) {
 // Figure9 reproduces the enhanced diverge-merge study: basic, +multiple
 // CFM points, +early exit, +multiple diverge branches (cumulative).
 func Figure9(o Options) (*Table, error) {
-	o = o.norm()
-	base, err := runSuite(core.DefaultConfig(), o)
-	if err != nil {
-		return nil, err
-	}
 	mk := func(mcfm, eexit, mdb bool) core.Config {
 		c := core.DMPConfig()
 		c.MultipleCFM = mcfm
@@ -223,33 +244,11 @@ func Figure9(o Options) (*Table, error) {
 	}
 	names := []string{"basic-diverge", "enhanced-mcfm", "enhanced-mcfm-eexit", "enhanced-mcfm-eexit-mdb"}
 	cfgs := []core.Config{mk(false, false, false), mk(true, false, false), mk(true, true, false), mk(true, true, true)}
-	t := &Table{ID: "fig9", Title: "% IPC improvement over baseline, enhancements (paper Figure 9)",
-		Header: append([]string{"bench"}, names...)}
-	cols := make([][]float64, len(cfgs))
-	allStats := make([][]*core.Stats, len(cfgs))
-	for ci, cfg := range cfgs {
-		st, err := runSuite(cfg, o)
-		if err != nil {
-			return nil, err
-		}
-		allStats[ci] = st
+	t, err := improvementTable("fig9", "% IPC improvement over baseline, enhancements (paper Figure 9)", names, cfgs, o)
+	if err == nil {
+		t.Note = "paper: enhancements are cumulative; all three give 10.8% average"
 	}
-	for bi, bench := range o.Benchmarks {
-		row := []string{bench}
-		for ci := range cfgs {
-			imp := pctImp(allStats[ci][bi], base[bi])
-			cols[ci] = append(cols[ci], imp)
-			row = append(row, f1(imp))
-		}
-		t.AddRow(row...)
-	}
-	meanRow := []string{"amean"}
-	for ci := range cfgs {
-		meanRow = append(meanRow, f1(amean(cols[ci])))
-	}
-	t.AddRow(meanRow...)
-	t.Note = "paper: enhancements are cumulative; all three give 10.8% average"
-	return t, nil
+	return t, err
 }
 
 // Figure10 is the exit-case distribution of the enhanced diverge-merge
@@ -266,14 +265,11 @@ func Figure10(o Options) (*Table, error) {
 // over the baseline.
 func Figure11(o Options) (*Table, error) {
 	o = o.norm()
-	base, err := runSuite(core.DefaultConfig(), o)
+	all, err := runSuites([]core.Config{core.DefaultConfig(), core.EnhancedDMPConfig()}, o)
 	if err != nil {
 		return nil, err
 	}
-	enh, err := runSuite(core.EnhancedDMPConfig(), o)
-	if err != nil {
-		return nil, err
-	}
+	base, enh := all[0], all[1]
 	t := &Table{ID: "fig11", Title: "Reduction in pipeline flushes, enhanced DMP (paper Figure 11)",
 		Header: []string{"bench", "base-flushes", "dmp-flushes", "reduction%"}}
 	var reds []float64
@@ -295,14 +291,11 @@ func Figure11(o Options) (*Table, error) {
 // refetch) but executes more (FALSE-predicate work plus inserted uops).
 func Figure12(o Options) (*Table, error) {
 	o = o.norm()
-	base, err := runSuite(core.DefaultConfig(), o)
+	all, err := runSuites([]core.Config{core.DefaultConfig(), core.EnhancedDMPConfig()}, o)
 	if err != nil {
 		return nil, err
 	}
-	enh, err := runSuite(core.EnhancedDMPConfig(), o)
-	if err != nil {
-		return nil, err
-	}
+	base, enh := all[0], all[1]
 	t := &Table{ID: "fig12", Title: "Fetched and executed instructions (paper Figure 12)",
 		Header: []string{"bench", "base-fetched", "dmp-fetched", "base-exec", "dmp-exec", "dmp-extra-uops", "dmp-selects"}}
 	var fr, er []float64
@@ -319,28 +312,30 @@ func Figure12(o Options) (*Table, error) {
 }
 
 // sweepTable runs base/DHP/enhanced-DMP over a parameter sweep and
-// reports average IPC per point (Figures 13a and 13b).
+// reports average IPC per point (Figures 13a and 13b). Every
+// (point, machine) suite launches at once; the result cache folds sweep
+// points that coincide with configurations other experiments already ran
+// (the 512-entry window point of Figure 13a is exactly the Table-2
+// machines).
 func sweepTable(id, title, param string, values []int, apply func(*core.Config, int), o Options) (*Table, error) {
 	o = o.norm()
 	t := &Table{ID: id, Title: title,
 		Header: []string{param, "base-IPC", "DHP-IPC", "enhanced-DMP-IPC", "DMP-gain%"}}
+	makers := []func() core.Config{core.DefaultConfig, core.DHPConfig, core.EnhancedDMPConfig}
+	cfgs := make([]core.Config, 0, len(values)*len(makers))
 	for _, v := range values {
-		mk := func(c core.Config) core.Config {
+		for _, mk := range makers {
+			c := mk()
 			apply(&c, v)
-			return c
+			cfgs = append(cfgs, c)
 		}
-		base, err := runSuite(mk(core.DefaultConfig()), o)
-		if err != nil {
-			return nil, err
-		}
-		dhp, err := runSuite(mk(core.DHPConfig()), o)
-		if err != nil {
-			return nil, err
-		}
-		dmp, err := runSuite(mk(core.EnhancedDMPConfig()), o)
-		if err != nil {
-			return nil, err
-		}
+	}
+	all, err := runSuites(cfgs, o)
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range values {
+		base, dhp, dmp := all[vi*3], all[vi*3+1], all[vi*3+2]
 		var bi, hi, di, gain []float64
 		for i := range base {
 			bi = append(bi, base[i].IPC())
@@ -376,78 +371,59 @@ func Figure13b(o Options) (*Table, error) {
 // DualPath reproduces the Section 5.3 comparison: selective dual-path
 // vs. DHP vs. enhanced DMP, as % IPC improvement over the baseline.
 func DualPath(o Options) (*Table, error) {
-	o = o.norm()
-	base, err := runSuite(core.DefaultConfig(), o)
-	if err != nil {
-		return nil, err
-	}
 	dual := core.DefaultConfig()
 	dual.Mode = core.ModeDualPath
-	ds, err := runSuite(dual, o)
-	if err != nil {
-		return nil, err
+	t, err := improvementTable("dualpath", "Selective dual-path vs DHP vs enhanced DMP (paper Section 5.3)",
+		[]string{"dual-path%", "DHP%", "enhanced-DMP%"},
+		[]core.Config{dual, core.DHPConfig(), core.EnhancedDMPConfig()}, o)
+	if err == nil {
+		t.Note = "paper: dual-path 2.6%, DHP 2.8%, DMP 10.8%"
 	}
-	hs, err := runSuite(core.DHPConfig(), o)
-	if err != nil {
-		return nil, err
-	}
-	ms, err := runSuite(core.EnhancedDMPConfig(), o)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{ID: "dualpath", Title: "Selective dual-path vs DHP vs enhanced DMP (paper Section 5.3)",
-		Header: []string{"bench", "dual-path%", "DHP%", "enhanced-DMP%"}}
-	var dv, hv, mv []float64
-	for i, b := range o.Benchmarks {
-		d1, h1, m1 := pctImp(ds[i], base[i]), pctImp(hs[i], base[i]), pctImp(ms[i], base[i])
-		dv, hv, mv = append(dv, d1), append(hv, h1), append(mv, m1)
-		t.AddRow(b, f1(d1), f1(h1), f1(m1))
-	}
-	t.AddRow("amean", f1(amean(dv)), f1(amean(hv)), f1(amean(mv)))
-	t.Note = "paper: dual-path 2.6%, DHP 2.8%, DMP 10.8%"
-	return t, nil
-}
-
-// annotatedLoops is Annotated with loop-diverge marking enabled (Section
-// 2.7.4 future work). Cached under its own key: the loop-marked program
-// carries extra annotations and must never be confused with the default
-// one.
-func annotatedLoops(bench string, scale int) (*prog.Program, error) {
-	return annotatedCached(bench, scale, true)
+	return t, err
 }
 
 // LoopDiverge evaluates the diverge loop branch extension (Section 2.7.4
 // future work, implemented here): enhanced DMP with and without
-// predication of marked backward branches.
+// predication of marked backward branches. The loop-marked run simulates
+// a separately annotated program (profile.Options.IncludeLoops), cached
+// under its own variant key so it can never be confused with the default
+// annotation. Benchmarks run concurrently; the baseline and enhanced legs
+// resolve from the result cache when other experiments already ran them.
 func LoopDiverge(o Options) (*Table, error) {
 	o = o.norm()
 	t := &Table{ID: "loopdiverge", Title: "Diverge loop branches (paper Section 2.7.4, future work)",
 		Header: []string{"bench", "base-IPC", "enhanced%", "enhanced+loops%", "loop-episodes"}}
-	for _, bench := range o.Benchmarks {
-		base, err := runOne(bench, core.DefaultConfig(), o)
-		if err != nil {
-			return nil, err
-		}
-		enh, err := runOne(bench, core.EnhancedDMPConfig(), o)
-		if err != nil {
-			return nil, err
-		}
-		p, err := annotatedLoops(bench, o.Scale)
-		if err != nil {
-			return nil, err
-		}
-		cfg := core.EnhancedDMPConfig()
-		cfg.EnableLoopDiverge = true
-		cfg.CheckRetirement = o.Check
-		m, err := core.New(p, cfg)
-		if err != nil {
-			return nil, err
-		}
-		lo, err := m.Run()
-		if err != nil {
-			return nil, fmt.Errorf("%s loops: %w", bench, err)
-		}
-		t.AddRow(bench, f3(base.IPC()), f1(pctImp(enh, base)), f1(pctImp(lo, base)), d(lo.Episodes-enh.Episodes))
+	type legs struct {
+		base, enh, loops *core.Stats
+	}
+	results := make([]legs, len(o.Benchmarks))
+	errs := make([]error, len(o.Benchmarks))
+	var wg sync.WaitGroup
+	for i, bench := range o.Benchmarks {
+		wg.Add(1)
+		go func(i int, bench string) {
+			defer wg.Done()
+			r := &results[i]
+			if r.base, errs[i] = runOneCached(bench, core.DefaultConfig(), o, false); errs[i] != nil {
+				return
+			}
+			if r.enh, errs[i] = runOneCached(bench, core.EnhancedDMPConfig(), o, false); errs[i] != nil {
+				return
+			}
+			cfg := core.EnhancedDMPConfig()
+			cfg.EnableLoopDiverge = true
+			if r.loops, errs[i] = runOneCached(bench, cfg, o, true); errs[i] != nil {
+				errs[i] = fmt.Errorf("%s loops: %w", bench, errs[i])
+			}
+		}(i, bench)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	for i, bench := range o.Benchmarks {
+		r := results[i]
+		t.AddRow(bench, f3(r.base.IPC()), f1(pctImp(r.enh, r.base)), f1(pctImp(r.loops, r.base)), d(r.loops.Episodes-r.enh.Episodes))
 	}
 	t.Note = "backward (loop) diverge branches predicated like wish loops; episode delta counts the extra loop episodes"
 	return t, nil

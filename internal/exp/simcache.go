@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dmp/internal/core"
+)
+
+// Simulation results are memoized process-wide, one entry per unique
+// (benchmark, scale, checker, annotation-variant, canonical config)
+// tuple. `dmpexp all` asks for the same simulation many times over — the
+// baseline suite alone is needed by table3, fig1, fig7, fig9, fig11,
+// fig12, dualpath and loopdiverge — and the simulator is deterministic,
+// so every repeat after the first is a map lookup. The singleflight
+// sync.Once per entry means concurrent experiments requesting the same
+// key block on one simulation instead of racing duplicates.
+//
+// Cached *core.Stats are FROZEN: every caller shares one pointer, so a
+// mutation by any of them would silently corrupt every other experiment's
+// table. Callers that need to write (accumulate, rescale) must work on a
+// core.Stats.Clone(). The cache keeps a private snapshot of each result
+// and compares on every hit; a mutated entry is a programming error and
+// panics with the offending key rather than returning poisoned numbers.
+//
+// Worker scheduling is process-global, not per-suite: the first scheme
+// (one semaphore per runSuite call) oversubscribed the host as soon as
+// experiments ran concurrently — every suite thought it owned
+// Options.Parallel workers. Now Options.Parallel is a process-level cap:
+// the first acquire sizes one shared slot pool (default NumCPU) and every
+// simulation, from any experiment, takes a slot only while it actually
+// runs. Cache waiters block on the entry's Once without holding a slot,
+// so duplicate requests never occupy a worker.
+
+// simKey identifies one unique simulation.
+type simKey struct {
+	bench string
+	scale int
+	check bool // golden-model retirement checker on
+	loops bool // loop-marked annotation variant (Section 2.7.4)
+	cfg   core.Config
+}
+
+// simEntry is a once-run cache slot.
+type simEntry struct {
+	once   sync.Once
+	st     *core.Stats
+	frozen core.Stats // snapshot taken at publication; guards the read-only invariant
+	err    error
+}
+
+var (
+	simCache  sync.Map // simKey -> *simEntry
+	simHits   atomic.Uint64
+	simMisses atomic.Uint64
+)
+
+// SimCounts returns the result-cache hit and miss totals since process
+// start (or the last Reset). Misses count actual simulations.
+func SimCounts() (hits, misses uint64) {
+	return simHits.Load(), simMisses.Load()
+}
+
+// --- global worker pool ---
+
+var (
+	poolMu sync.Mutex
+	poolCh chan struct{}
+)
+
+// workerSlots returns the process-wide simulation slot pool, creating it
+// on first use with capacity n (<=0 means NumCPU). The first caller fixes
+// the capacity for the life of the process: Parallel is a global cap, not
+// a per-suite one, precisely so that concurrently generated experiments
+// cannot oversubscribe the host.
+func workerSlots(n int) chan struct{} {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if poolCh == nil {
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		poolCh = make(chan struct{}, n)
+	}
+	return poolCh
+}
+
+// runOneCached returns the memoized simulation of bench under cfg,
+// running it on first request. The returned Stats are shared and frozen —
+// Clone before mutating. loops selects the loop-marked annotated program
+// (LoopDiverge); everything else passes false.
+func runOneCached(bench string, cfg core.Config, o Options, loops bool) (*core.Stats, error) {
+	key := simKey{bench: bench, scale: o.Scale, check: o.Check, loops: loops, cfg: cfg.Canonical()}
+	v, _ := simCache.LoadOrStore(key, &simEntry{})
+	e := v.(*simEntry)
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		simMisses.Add(1)
+		slots := workerSlots(o.Parallel)
+		slots <- struct{}{}
+		defer func() { <-slots }()
+		e.st, e.err = simulate(bench, cfg, o, loops)
+		if e.err == nil {
+			e.frozen = *e.st
+		}
+	})
+	if hit {
+		simHits.Add(1)
+		if e.err == nil && *e.st != e.frozen {
+			panic(fmt.Sprintf("exp: cached Stats for %s/%v (scale %d) were mutated; cached results are frozen — use Stats.Clone",
+				bench, cfg.Mode, o.Scale))
+		}
+	}
+	return e.st, e.err
+}
+
+// simulate is the uncached simulation behind runOneCached: one benchmark,
+// one machine configuration, one run. The result is detached from the
+// Machine (Clone) so the cache does not pin simulator state.
+func simulate(bench string, cfg core.Config, o Options, loops bool) (*core.Stats, error) {
+	p, err := annotatedCached(bench, o.Scale, loops)
+	if err != nil {
+		return nil, err
+	}
+	cfg.CheckRetirement = o.Check
+	m, err := core.New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		// The benchmark name is attached by the caller (runSuite names
+		// every failing benchmark at its errors.Join point).
+		return nil, fmt.Errorf("under %v: %w", cfg.Mode, err)
+	}
+	return st.Clone(), nil
+}
+
+// Reset drops every cached program and simulation result and zeroes the
+// cache counters. For benchmarks and long-lived embedders that need a
+// cold start; experiment correctness never requires it.
+func Reset() {
+	resetProgramCache()
+	resetSimCache()
+}
+
+// ResetResults drops cached simulation results and counters but keeps
+// the memoized annotated programs. For benchmarks that want to measure
+// what one experiment's simulations cost (the pre-cache semantics: shared
+// annotations, fresh runs) rather than a cache lookup.
+func ResetResults() {
+	resetSimCache()
+}
+
+// resetSimCache drops cached simulation results and counters.
+func resetSimCache() {
+	simCache.Range(func(k, _ any) bool {
+		simCache.Delete(k)
+		return true
+	})
+	simHits.Store(0)
+	simMisses.Store(0)
+}
