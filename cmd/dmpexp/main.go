@@ -28,7 +28,18 @@ import (
 	"time"
 
 	"dmp/internal/exp"
+	"dmp/internal/lint"
+	"dmp/internal/prog"
+	"dmp/internal/workload"
 )
+
+// annotated dispatches to the plain or loop-marking annotation builder.
+func annotated(bench string, scale int, loops bool) (*prog.Program, error) {
+	if loops {
+		return exp.AnnotatedLoops(bench, scale)
+	}
+	return exp.Annotated(bench, scale)
+}
 
 func main() {
 	var (
@@ -36,6 +47,7 @@ func main() {
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
 		nocheck = flag.Bool("nocheck", false, "disable the golden-model checker (faster)")
 		par     = flag.Int("parallel", 0, "simulation worker cap, shared by all experiments (default NumCPU)")
+		doLint  = flag.Bool("lint", false, "lint every benchmark program and annotation set before running")
 	)
 	flag.Parse()
 
@@ -60,6 +72,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dmpexp: unknown experiment %q (known: %s)\n", id, strings.Join(exp.IDs(), " "))
 			os.Exit(2)
 		}
+	}
+
+	// Pre-flight lint gate: every benchmark's annotated program (both
+	// with and without loop diverge marking, since the loop-diverge
+	// experiments use the latter) must be free of Error-severity
+	// findings before any simulation starts.
+	if *doLint {
+		bad := 0
+		benches := opts.Benchmarks
+		if len(benches) == 0 {
+			benches = workload.Names()
+		}
+		for _, b := range benches {
+			for _, loops := range []bool{false, true} {
+				p, err := annotated(b, opts.Scale, loops)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dmpexp: lint %s: %v\n", b, err)
+					os.Exit(1)
+				}
+				for _, d := range lint.Check(p, lint.Options{}) {
+					fmt.Fprintf(os.Stderr, "dmpexp: lint %s (loops=%v): %s\n", b, loops, d)
+					if d.Sev == lint.Error {
+						bad++
+					}
+				}
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "dmpexp: lint: %d error(s)\n", bad)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "dmpexp: lint: clean")
 	}
 
 	type result struct {

@@ -18,6 +18,7 @@ import (
 
 	"dmp/internal/core"
 	"dmp/internal/exp"
+	"dmp/internal/lint"
 	"dmp/internal/profile"
 	"dmp/internal/prog"
 	"dmp/internal/workload"
@@ -39,6 +40,7 @@ func main() {
 		mdb      = flag.Bool("mdb", false, "enable multiple diverge branches (2.7.3)")
 		loops    = flag.Bool("loops", false, "enable diverge loop branches (2.7.4)")
 		nocheck  = flag.Bool("nocheck", false, "disable the golden-model retirement checker")
+		doLint   = flag.Bool("lint", false, "statically check the program and annotations, print findings, and exit")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -109,6 +111,20 @@ func main() {
 		}
 	default:
 		fatal("need -bench or -asm (try -list)")
+	}
+
+	if *doLint {
+		ds := lint.Check(p, lint.Options{})
+		for _, d := range ds {
+			fmt.Println(d)
+		}
+		if ds.HasErrors() {
+			fatal("lint: %d error(s)", len(ds.Errors()))
+		}
+		if len(ds) == 0 {
+			fmt.Println("lint: clean")
+		}
+		return
 	}
 
 	m, err := core.New(p, cfg)

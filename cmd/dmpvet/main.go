@@ -1,0 +1,65 @@
+// Command dmpvet runs the repo-specific static analyzers over the whole
+// module: frozenstats (mutation of shared cached stats), nondeterminism
+// (wall clock, math/rand, order-sensitive map iteration in the
+// simulator) and hotalloc (sorting / per-cycle allocation in the
+// pipeline loop). It exits nonzero when any analyzer reports a finding.
+//
+// Usage:
+//
+//	dmpvet [-root dir] [-list]
+//
+// Findings can be waived in source with:
+//
+//	//dmp:allow <analyzer> -- reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dmp/internal/vet"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range vet.DefaultAnalyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	r := *root
+	if r == "" {
+		var err error
+		r, err = vet.FindModuleRoot(".")
+		if err != nil {
+			fatal(err)
+		}
+	}
+	diags, err := vet.Check(r, vet.DefaultAnalyzers())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(r, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dmpvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmpvet:", err)
+	os.Exit(1)
+}

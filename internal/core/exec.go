@@ -9,6 +9,8 @@ import (
 // issueStage selects ready uops oldest-first, up to IssueWidth per cycle
 // with LoadPorts data-cache ports, executes them with real data values,
 // and schedules their completion.
+//
+//dmp:hotpath
 func (m *Machine) issueStage() {
 	width := m.cfg.IssueWidth
 	loadPorts := m.cfg.LoadPorts
@@ -153,6 +155,8 @@ func (m *Machine) execute(u *uop) {
 // completeStage drains completion events due this cycle: values
 // broadcast to waiting consumers, control instructions resolve (possibly
 // flushing the pipeline or ending a dynamic predication episode).
+//
+//dmp:hotpath
 func (m *Machine) completeStage() {
 	for len(m.events) > 0 && m.events[0].at <= m.cycle {
 		u := m.events.pop().u

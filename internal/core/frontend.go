@@ -54,6 +54,8 @@ func (m *Machine) snapFetch() *fetchSnapshot {
 // conditional branches, ending at the first predicted-taken branch
 // (Table 2's front end). It also runs the dynamic-predication fetch FSM:
 // predicted path → alternate path → exit (Section 2.3).
+//
+//dmp:hotpath
 func (m *Machine) fetchStage() {
 	if m.cycle < m.fetchStallUntil {
 		return

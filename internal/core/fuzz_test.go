@@ -6,6 +6,7 @@ import (
 
 	"dmp/internal/emu"
 	"dmp/internal/isa"
+	"dmp/internal/lint"
 	"dmp/internal/profile"
 	"dmp/internal/prog"
 )
@@ -279,4 +280,64 @@ func TestFuzzSmallWindows(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestFuzzLintSoundness pins the lint package's soundness contract on
+// random structured programs: the generator only emits statically legal
+// images (lint.Program reports no errors), a lint-clean image runs to
+// completion on the functional emulator, and the profiler's annotations
+// on arbitrary generated CFGs always satisfy the annotation legality
+// rules (lint.Check stays error-free after profiling).
+func TestFuzzLintSoundness(t *testing.T) {
+	n := int64(60)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		p := genProg(seed, 60)
+		if ds := lint.Program(p); ds.HasErrors() {
+			t.Fatalf("seed %d: generator emitted a lint-illegal program:\n%s", seed, ds.Errors())
+		}
+		ref := emu.New(p)
+		if _, err := ref.Run(2_000_000); err != nil {
+			t.Fatalf("seed %d: lint-clean program faulted on the emulator: %v", seed, err)
+		}
+		if !ref.Halted {
+			t.Fatalf("seed %d: lint-clean program did not halt", seed)
+		}
+		popts := profile.DefaultOptions()
+		popts.IncludeLoops = seed%2 == 0
+		if _, err := profile.Run(p, popts); err != nil {
+			t.Fatalf("seed %d: profile: %v", seed, err)
+		}
+		if ds := lint.Check(p, lint.Options{}); ds.HasErrors() {
+			t.Fatalf("seed %d: profiler annotations fail lint:\n%s", seed, ds.Errors())
+		}
+	}
+}
+
+// FuzzLintEmuSoundness is the native fuzz entry for the same contract:
+// for any (seed, iters), the generated program must be lint-error-free
+// and must run to completion on the emulator without a fault.
+func FuzzLintEmuSoundness(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed, int64(60))
+	}
+	f.Fuzz(func(t *testing.T, seed, iters int64) {
+		iters %= 300
+		if iters < 0 {
+			iters = -iters
+		}
+		p := genProg(seed, iters)
+		if ds := lint.Program(p); ds.HasErrors() {
+			t.Fatalf("lint-illegal generated program (seed=%d iters=%d):\n%s", seed, iters, ds.Errors())
+		}
+		e := emu.New(p)
+		if _, err := e.Run(5_000_000); err != nil {
+			t.Fatalf("lint-clean program faulted (seed=%d iters=%d): %v", seed, iters, err)
+		}
+		if !e.Halted {
+			t.Fatalf("lint-clean program hit the step cap (seed=%d iters=%d)", seed, iters)
+		}
+	})
 }

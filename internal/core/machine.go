@@ -175,7 +175,7 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 // Run simulates until the program halts or a run limit is reached, and
 // returns the statistics. A golden-model divergence returns an error.
 func (m *Machine) Run() (*Stats, error) {
-	start := time.Now()
+	start := time.Now() //dmp:allow nondeterminism -- feeds only WallSeconds, excluded from golden tables
 	lastRetired := uint64(0)
 	lastProgress := uint64(0)
 	for !m.halted && m.runErr == nil {
@@ -204,7 +204,7 @@ func (m *Machine) Run() (*Stats, error) {
 	}
 	m.Stats.Cycles = m.cycle
 	m.Stats.FetchedUops = m.arena.allocated
-	m.Stats.WallSeconds = time.Since(start).Seconds()
+	m.Stats.WallSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- WallSeconds is excluded from golden tables
 	m.flushWPAll()
 	// The pipeline is permanently stopped: no uop will be dereferenced
 	// again, so the slabs can go back to the shared pool.

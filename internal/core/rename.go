@@ -47,6 +47,8 @@ func sameSource(a, b ratEntry) bool {
 // Pending select-uops (from an exit.pred that reached rename) block the
 // normal stream and are inserted at SelectUopsPerCycle per cycle,
 // modelling the RAT port limit (Section 2.4).
+//
+//dmp:hotpath
 func (m *Machine) renameStage() {
 	width := m.cfg.FetchWidth
 

@@ -11,6 +11,8 @@ import (
 // results without updating architectural state (Section 2.5); stores
 // drain to memory; the golden-model checker validates every committed
 // instruction against the functional emulator.
+//
+//dmp:hotpath
 func (m *Machine) retireStage() {
 	for n := 0; n < m.cfg.RetireWidth && len(m.rob) > 0; n++ {
 		u := m.rob[0]

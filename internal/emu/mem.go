@@ -70,6 +70,7 @@ func (m *Memory) Footprint() int { return len(m.pages) * pageWords }
 
 // Each calls fn for every non-zero resident word, in unspecified order.
 func (m *Memory) Each(fn func(addr, val uint64)) {
+	//dmp:allow nondeterminism -- unspecified order is documented; callers must sort
 	for idx, pg := range m.pages {
 		base := idx << pageBits
 		for i, v := range pg {

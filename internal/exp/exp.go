@@ -67,6 +67,13 @@ func Annotated(bench string, scale int) (*prog.Program, error) {
 	return annotatedCached(bench, scale, false)
 }
 
+// AnnotatedLoops is Annotated with loop diverge branches (Section 2.7.4)
+// additionally marked, as the loop-diverge experiments use. The same
+// read-only sharing contract applies.
+func AnnotatedLoops(bench string, scale int) (*prog.Program, error) {
+	return annotatedCached(bench, scale, true)
+}
+
 // buildAnnotated is the uncached builder behind Annotated: workload
 // build, training profile, annotation transfer. loops additionally marks
 // backward (loop) diverge branches (Section 2.7.4).

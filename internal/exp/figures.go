@@ -452,6 +452,7 @@ func IDs() []string {
 	ids := []string{"table2", "table3", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "dualpath", "loopdiverge"}
 	if len(ids) != len(All) {
 		keys := make([]string, 0, len(All))
+		//dmp:allow nondeterminism -- keys are sorted on the next line
 		for k := range All {
 			keys = append(keys, k)
 		}

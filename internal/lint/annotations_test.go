@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"testing"
+
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+// hammock builds the canonical test shape:
+//
+//	0: li   r1, 1
+//	1: br.eq r1, zero -> 4   (diverge branch)
+//	2: addi r2, r1, 1        (fall-through arm)
+//	3: jmp  5
+//	4: addi r2, r1, 2        (taken arm)
+//	5: add  r3, r2, r1       (join / CFM)
+//	6: halt
+func hammock() *prog.Program {
+	p := raw(0,
+		isa.Inst{Op: isa.LI, Dst: 1, Imm: 1},
+		br(isa.EQ, 1, isa.Zero, 4),
+		addi(2, 1, 1),
+		jmp(5),
+		addi(2, 1, 2),
+		isa.Inst{Op: isa.ADD, Dst: 3, Src1: 2, Src2: 1},
+		halt(),
+	)
+	return p
+}
+
+func annotate(p *prog.Program, pc uint64, d *prog.Diverge) *prog.Program {
+	p.Diverge[pc] = d // direct map write: MarkDiverge would reject bad ones
+	return p
+}
+
+func checkAnn(p *prog.Program) Diags {
+	return Annotations(p, prog.BuildCFG(p), Options{})
+}
+
+func TestAnnotationsCleanHammock(t *testing.T) {
+	p := hammock()
+	p.MarkDiverge(1, &prog.Diverge{CFMs: []uint64{5}, Class: prog.ClassSimpleHammock, ExitThreshold: 10})
+	wantClean(t, checkAnn(p))
+}
+
+func TestAnnotationsNotABranch(t *testing.T) {
+	p := annotate(hammock(), 0, &prog.Diverge{CFMs: []uint64{5}})
+	wantCheck(t, checkAnn(p), "diverge-not-branch", Error)
+}
+
+func TestAnnotationsNoCFMs(t *testing.T) {
+	p := annotate(hammock(), 1, &prog.Diverge{Class: prog.ClassSimpleHammock})
+	wantCheck(t, checkAnn(p), "cfm-missing", Error)
+}
+
+func TestAnnotationsCFMOutOfRange(t *testing.T) {
+	p := annotate(hammock(), 1, &prog.Diverge{CFMs: []uint64{99}, Class: prog.ClassSimpleHammock})
+	wantCheck(t, checkAnn(p), "cfm-range", Error)
+}
+
+func TestAnnotationsCFMUnreachable(t *testing.T) {
+	// CFM on the taken arm only: instruction 4 is never reached from the
+	// fall-through path (which jumps from 3 to 5).
+	p := annotate(hammock(), 1, &prog.Diverge{CFMs: []uint64{4}, Class: prog.ClassSimpleHammock})
+	wantCheck(t, checkAnn(p), "cfm-unreachable", Error)
+}
+
+func TestAnnotationsCFMTooFar(t *testing.T) {
+	// Put the join beyond MaxDist on the fall-through side by stretching
+	// the fall-through arm with straight-line filler.
+	// Longer than the CFG's simple-hammock body limit (64), so the
+	// ClassComplexDiverge claim below is consistent.
+	const filler = 80
+	code := []isa.Inst{
+		{Op: isa.LI, Dst: 1, Imm: 1},
+		br(isa.EQ, 1, isa.Zero, uint64(2+filler+1)), // taken -> join directly
+	}
+	for i := 0; i < filler; i++ {
+		code = append(code, addi(2, 2, 1))
+	}
+	code = append(code,
+		jmp(uint64(2+filler+1)),                         // end of fall arm
+		isa.Inst{Op: isa.ADD, Dst: 3, Src1: 2, Src2: 1}, // join
+		halt(),
+	)
+	p := raw(0, code...)
+	join := uint64(2 + filler + 1)
+	p.Diverge[1] = &prog.Diverge{CFMs: []uint64{join}, Class: prog.ClassComplexDiverge}
+
+	// Within a generous bound: clean (reachable on both paths).
+	wantClean(t, Annotations(p, prog.BuildCFG(p), Options{MaxDist: 120}))
+	// With a tight bound the fall-through path exceeds it.
+	ds := Annotations(p, prog.BuildCFG(p), Options{MaxDist: 20})
+	wantCheck(t, ds, "cfm-unreachable", Error)
+	wantCheck(t, ds, "cfm-too-far", Warning)
+}
+
+func TestAnnotationsClassMismatch(t *testing.T) {
+	// The hammock is simple; claiming complex earns a warning, and a
+	// genuinely complex shape claiming simple is an error.
+	p := annotate(hammock(), 1, &prog.Diverge{CFMs: []uint64{5}, Class: prog.ClassComplexDiverge})
+	wantCheck(t, checkAnn(p), "class-mismatch", Warning)
+
+	// A branch whose fall-through arm contains a nested branch is not a
+	// simple hammock.
+	p2 := raw(0,
+		isa.Inst{Op: isa.LI, Dst: 1, Imm: 1}, // 0
+		br(isa.EQ, 1, isa.Zero, 6),           // 1: outer (claims simple)
+		addi(2, 1, 1),                        // 2
+		br(isa.NE, 2, isa.Zero, 5),           // 3: inner branch
+		addi(2, 2, 1),                        // 4
+		jmp(6),                               // 5
+		isa.Inst{Op: isa.ADD, Dst: 3, Src1: 2, Src2: 1}, // 6: join
+		halt(), // 7
+	)
+	p2.Diverge[1] = &prog.Diverge{CFMs: []uint64{6}, Class: prog.ClassSimpleHammock}
+	wantCheck(t, checkAnn(p2), "class-mismatch", Error)
+}
+
+func TestAnnotationsLoopFlag(t *testing.T) {
+	// Forward branch marked as a loop diverge.
+	p := annotate(hammock(), 1, &prog.Diverge{CFMs: []uint64{5}, Class: prog.ClassSimpleHammock, Loop: true})
+	wantCheck(t, checkAnn(p), "loop-flag", Error)
+
+	// Backward branch not marked as one.
+	p2 := raw(0,
+		addi(1, 1, 1),       // 0
+		br(isa.LT, 1, 2, 0), // 1: back edge
+		halt(),              // 2
+	)
+	p2.Diverge[1] = &prog.Diverge{CFMs: []uint64{2}, Class: prog.ClassOther, Loop: false}
+	wantCheck(t, checkAnn(p2), "loop-flag", Error)
+}
+
+func TestAnnotationsExitThreshold(t *testing.T) {
+	p := annotate(hammock(), 1, &prog.Diverge{CFMs: []uint64{5}, Class: prog.ClassSimpleHammock, ExitThreshold: 500})
+	wantCheck(t, checkAnn(p), "exit-threshold", Warning)
+}
+
+func TestAnnotationsDegenerateCFM(t *testing.T) {
+	p := annotate(hammock(), 1, &prog.Diverge{CFMs: []uint64{2}, Class: prog.ClassSimpleHammock})
+	wantCheck(t, checkAnn(p), "cfm-degenerate", Warning)
+}
+
+func TestAnnotationsNestedRegion(t *testing.T) {
+	// Outer branch 1 merges at 6; inner branch 3 sits inside the outer
+	// region but "merges" at 8, beyond the outer CFM.
+	p := raw(0,
+		isa.Inst{Op: isa.LI, Dst: 1, Imm: 1}, // 0
+		br(isa.EQ, 1, isa.Zero, 6),           // 1: outer
+		addi(2, 1, 1),                        // 2
+		br(isa.NE, 2, isa.Zero, 5),           // 3: inner
+		addi(2, 2, 1),                        // 4
+		nop(),                                // 5
+		isa.Inst{Op: isa.ADD, Dst: 3, Src1: 2, Src2: 1}, // 6: outer CFM
+		nop(),  // 7
+		nop(),  // 8: inner's claimed CFM
+		halt(), // 9
+	)
+	p.Diverge[1] = &prog.Diverge{CFMs: []uint64{6}, Class: prog.ClassComplexDiverge}
+	p.Diverge[3] = &prog.Diverge{CFMs: []uint64{8}, Class: prog.ClassComplexDiverge}
+	wantCheck(t, checkAnn(p), "nested-region", Warning)
+
+	// Properly contained: inner merges at 5, inside the outer region.
+	p.Diverge[3] = &prog.Diverge{CFMs: []uint64{5}, Class: prog.ClassComplexDiverge}
+	if ds := checkAnn(p); len(ds.ByCheck("nested-region")) != 0 {
+		t.Errorf("contained nesting flagged:\n%s", ds)
+	}
+}
+
+func TestAnnotationsCrossFunctionCFM(t *testing.T) {
+	// The profiler matches CFM points by absolute call depth, so a CFM
+	// may sit in a different function at the same depth: branch in f,
+	// both paths return, the caller immediately calls g. The return-edge
+	// supergraph must see that path.
+	b := prog.NewBuilder()
+	b.Entry("main")
+	b.Label("f")
+	b.Li(1, 3)
+	b.Brz(1, "fret")
+	b.Addi(2, 1, 1)
+	b.Label("fret")
+	b.Ret()
+	b.Label("g")
+	gBody := b.Here()
+	b.Addi(3, 2, 1)
+	b.Ret()
+	b.Label("main")
+	b.Call("f")
+	b.Call("g")
+	b.Halt()
+	p := b.MustBuild()
+
+	brPC := p.PC("f") + 1
+	p.Diverge[brPC] = &prog.Diverge{CFMs: []uint64{gBody}, Class: prog.ClassComplexDiverge}
+	ds := checkAnn(p)
+	if got := ds.ByCheck("cfm-unreachable"); len(got) != 0 {
+		t.Errorf("cross-function same-depth CFM flagged unreachable: %v", got)
+	}
+}
+
+func TestCheckRunsBothLayers(t *testing.T) {
+	p := annotate(hammock(), 1, &prog.Diverge{CFMs: []uint64{99}, Class: prog.ClassSimpleHammock})
+	wantCheck(t, Check(p, Options{}), "cfm-range", Error)
+
+	// Image errors short-circuit annotation checking.
+	bad := raw(9, nop(), jmp(0))
+	ds := Check(bad, Options{})
+	if !ds.HasErrors() {
+		t.Fatalf("expected errors: %s", ds)
+	}
+}

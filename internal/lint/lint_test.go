@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"dmp/internal/isa"
+	"dmp/internal/prog"
+)
+
+// raw builds a Program directly from instructions, bypassing the
+// Builder's Validate so tests can construct illegal images.
+func raw(entry uint64, code ...isa.Inst) *prog.Program {
+	p := prog.New()
+	p.Code = code
+	p.Entry = entry
+	return p
+}
+
+func br(c isa.Cond, s1, s2 isa.Reg, target uint64) isa.Inst {
+	return isa.Inst{Op: isa.BR, Cond: c, Src1: s1, Src2: s2, Target: target}
+}
+func jmp(t uint64) isa.Inst { return isa.Inst{Op: isa.JMP, Target: t} }
+func halt() isa.Inst        { return isa.Inst{Op: isa.HALT} }
+func nop() isa.Inst         { return isa.Inst{Op: isa.NOP} }
+func addi(d, s isa.Reg, imm int64) isa.Inst {
+	return isa.Inst{Op: isa.ADDI, Dst: d, Src1: s, Imm: imm}
+}
+
+// wantCheck asserts that ds contains a diagnostic for the given check at
+// the given severity.
+func wantCheck(t *testing.T, ds Diags, check string, sev Severity) {
+	t.Helper()
+	for _, d := range ds.ByCheck(check) {
+		if d.Sev == sev {
+			return
+		}
+	}
+	t.Errorf("missing %s diagnostic %q; got:\n%s", sev, check, ds)
+}
+
+func wantClean(t *testing.T, ds Diags) {
+	t.Helper()
+	if len(ds) != 0 {
+		t.Errorf("expected no diagnostics, got:\n%s", ds)
+	}
+}
+
+func TestProgramClean(t *testing.T) {
+	// A well-formed if-else hammock with a call.
+	b := prog.NewBuilder()
+	b.Entry("main")
+	b.Label("leaf")
+	b.Addi(4, 4, 1)
+	b.Ret()
+	b.Label("main")
+	b.Li(1, 7)
+	b.Call("leaf")
+	b.Brz(1, "else")
+	b.Addi(2, 1, 1)
+	b.Jmp("join")
+	b.Label("else")
+	b.Addi(2, 1, 2)
+	b.Label("join")
+	b.Add(3, 2, 1)
+	b.Halt()
+	p := b.MustBuild()
+	wantClean(t, Program(p))
+}
+
+func TestProgramEmpty(t *testing.T) {
+	wantCheck(t, Program(raw(0)), "empty", Error)
+}
+
+func TestProgramTargetRange(t *testing.T) {
+	p := raw(0, br(isa.EQ, 1, 0, 99), halt())
+	wantCheck(t, Program(p), "target-range", Error)
+}
+
+func TestProgramEntryRange(t *testing.T) {
+	p := raw(5, nop(), halt())
+	wantCheck(t, Program(p), "entry-range", Error)
+}
+
+func TestProgramNoHalt(t *testing.T) {
+	p := raw(0, nop(), jmp(0))
+	wantCheck(t, Program(p), "no-halt", Error)
+}
+
+func TestProgramInvalidOpcode(t *testing.T) {
+	p := raw(0, isa.Inst{Op: isa.Op(200)}, halt())
+	wantCheck(t, Program(p), "opcode", Error)
+}
+
+func TestProgramFallthroughOffEnd(t *testing.T) {
+	p := raw(0, br(isa.EQ, 1, 0, 0), halt(), nop())
+	wantCheck(t, Program(p), "fallthrough-end", Error)
+
+	// A conditional branch as the last instruction falls through too.
+	p2 := raw(0, halt(), br(isa.EQ, 1, 0, 0))
+	wantCheck(t, Program(p2), "fallthrough-end", Error)
+}
+
+func TestProgramUnreachable(t *testing.T) {
+	p := raw(0,
+		jmp(3),        // 0
+		addi(1, 1, 1), // 1: skipped
+		addi(1, 1, 2), // 2: skipped
+		halt(),        // 3
+	)
+	ds := Program(p)
+	wantCheck(t, ds, "unreachable", Warning)
+	if ds.HasErrors() {
+		t.Errorf("unreachable code must not be an error:\n%s", ds)
+	}
+}
+
+func TestProgramNoExitPath(t *testing.T) {
+	// PC 1 jumps to itself forever; HALT exists but is unreachable from
+	// the loop.
+	p := raw(0,
+		nop(),  // 0
+		jmp(1), // 1: statically inescapable
+		halt(), // 2
+	)
+	wantCheck(t, Program(p), "no-exit-path", Error)
+}
+
+func TestProgramLoopWithExitIsClean(t *testing.T) {
+	// A loop whose branch has a fall-through exit is fine even if it
+	// would iterate a long time dynamically.
+	p := raw(0,
+		addi(1, 1, 1),       // 0
+		br(isa.LT, 1, 2, 0), // 1: back edge with exit
+		halt(),              // 2
+	)
+	ds := Program(p)
+	if got := ds.ByCheck("no-exit-path"); len(got) != 0 {
+		t.Errorf("loop with exit flagged: %v", got)
+	}
+}
+
+func TestProgramCallDiscipline(t *testing.T) {
+	// CALL that discards its link register.
+	p := raw(2,
+		addi(4, 4, 1),                                    // 0: callee body
+		isa.Inst{Op: isa.RET, Src1: isa.LR},              // 1
+		isa.Inst{Op: isa.CALL, Target: 0, Dst: isa.Zero}, // 2
+		halt(), // 3
+	)
+	wantCheck(t, Program(p), "call-discards-link", Warning)
+
+	// RET through the zero register.
+	p2 := raw(2,
+		addi(4, 4, 1),                                  // 0: callee body
+		isa.Inst{Op: isa.RET, Src1: isa.Zero},          // 1
+		isa.Inst{Op: isa.CALL, Target: 0, Dst: isa.LR}, // 2
+		halt(), // 3
+	)
+	wantCheck(t, Program(p2), "ret-zero", Warning)
+}
+
+func TestProgramCalleeNoReturn(t *testing.T) {
+	// The callee jumps back to itself and never returns; the program
+	// still "exits" statically through the unreachable HALT path, so
+	// make the callee loop the only offender.
+	p := raw(1,
+		jmp(0), // 0: callee spins (also no-exit-path)
+		isa.Inst{Op: isa.CALL, Target: 0, Dst: isa.LR}, // 1
+		halt(), // 2
+	)
+	ds := program(p, Options{})
+	wantCheck(t, ds, "callee-no-return", Warning)
+}
+
+func TestProgramUndefRead(t *testing.T) {
+	// r9 is read but never written anywhere: flagged by default.
+	p := raw(0,
+		addi(1, 9, 1), // 0: reads r9
+		halt(),        // 1
+	)
+	wantCheck(t, Program(p), "undef-read", Warning)
+
+	// r1 is read before its write, but written later: only strict mode
+	// reports it.
+	p2 := raw(0,
+		addi(2, 1, 1), // 0: reads r1 before any write
+		addi(1, 2, 0), // 1: writes r1
+		halt(),        // 2
+	)
+	if ds := Program(p2); len(ds.ByCheck("maybe-undef")) != 0 {
+		t.Errorf("default mode reported maybe-undef:\n%s", ds)
+	}
+	wantCheck(t, program(p2, Options{StrictUninit: true}), "maybe-undef", Warning)
+}
+
+func TestProgramStrictDataflowJoins(t *testing.T) {
+	// r5 is written on only one arm of a hammock: must-defined at the
+	// join excludes it, so the read after the join is maybe-undef in
+	// strict mode. r6, written on both arms, must not be flagged.
+	p := raw(0,
+		br(isa.EQ, 1, 0, 4), // 0
+		addi(5, 0, 1),       // 1: then-arm writes r5
+		addi(6, 0, 1),       // 2: and r6
+		jmp(5),              // 3
+		addi(6, 0, 2),       // 4: else-arm writes only r6
+		addi(2, 5, 0),       // 5: join reads r5 (one-armed def)
+		addi(3, 6, 0),       // 6: join reads r6 (both-armed def)
+		halt(),              // 7
+	)
+	ds := program(p, Options{StrictUninit: true})
+	found := false
+	for _, d := range ds.ByCheck("maybe-undef") {
+		if strings.Contains(d.Msg, "r5") {
+			found = true
+		}
+		if strings.Contains(d.Msg, "r6") {
+			t.Errorf("r6 is defined on both arms but was flagged: %v", d)
+		}
+	}
+	if !found {
+		t.Errorf("one-armed definition of r5 not flagged:\n%s", ds)
+	}
+}
+
+func TestValidateSubsumed(t *testing.T) {
+	// Everything prog.Validate rejects must be an Error here too.
+	for name, p := range map[string]*prog.Program{
+		"target":  raw(0, jmp(9), halt()),
+		"no-halt": raw(0, nop(), jmp(0)),
+		"entry":   raw(9, halt()),
+		"opcode":  raw(0, isa.Inst{Op: isa.Op(99)}, halt()),
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", name)
+		}
+		if !Program(p).HasErrors() {
+			t.Errorf("%s: lint.Program accepted what Validate rejects", name)
+		}
+	}
+}

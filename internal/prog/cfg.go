@@ -74,7 +74,8 @@ func BuildCFG(p *Program) *CFG {
 	c := &CFG{prog: p, blockOf: make([]int, n)}
 	start := uint64(0)
 	for pc := uint64(0); pc <= n; pc++ {
-		if pc == n || (pc > start && leader[pc]) {
+		// pc > start guards the empty program: no zero-length blocks.
+		if pc > start && (pc == n || leader[pc]) {
 			c.Blocks = append(c.Blocks, Block{Start: start, End: pc})
 			start = pc
 		}

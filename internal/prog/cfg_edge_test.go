@@ -1,0 +1,187 @@
+package prog
+
+import (
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+// rawProg builds a Program directly, bypassing Validate, so tests can
+// exercise CFG construction on degenerate shapes.
+func rawProg(entry uint64, code ...isa.Inst) *Program {
+	p := New()
+	p.Code = code
+	p.Entry = entry
+	return p
+}
+
+func ebr(c isa.Cond, target uint64) isa.Inst {
+	return isa.Inst{Op: isa.BR, Cond: c, Src1: 1, Src2: isa.Zero, Target: target}
+}
+func ejmp(t uint64) isa.Inst { return isa.Inst{Op: isa.JMP, Target: t} }
+func ehalt() isa.Inst        { return isa.Inst{Op: isa.HALT} }
+func enop() isa.Inst         { return isa.Inst{Op: isa.NOP} }
+
+func TestCFGSingleBlockProgram(t *testing.T) {
+	p := rawProg(0, enop(), enop(), ehalt())
+	c := BuildCFG(p)
+	if len(c.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1 (%v)", len(c.Blocks), c.Blocks)
+	}
+	b := c.Blocks[0]
+	if b.Start != 0 || b.End != 3 || len(b.Succs) != 0 {
+		t.Errorf("block = %+v, want [0,3) with no successors", b)
+	}
+	for pc := uint64(0); pc < 3; pc++ {
+		if c.BlockOf(pc) != 0 {
+			t.Errorf("BlockOf(%d) = %d, want 0", pc, c.BlockOf(pc))
+		}
+	}
+	if c.BlockOf(99) != -1 {
+		t.Errorf("BlockOf outside code must be -1")
+	}
+	// A single exit block has no strict post-dominator.
+	if _, ok := c.IPostDom(0); ok {
+		t.Errorf("single block reported a post-dominator")
+	}
+}
+
+func TestCFGEmptyProgram(t *testing.T) {
+	c := BuildCFG(rawProg(0))
+	if len(c.Blocks) != 0 {
+		t.Fatalf("empty program produced %d blocks", len(c.Blocks))
+	}
+	if c.BlockOf(0) != -1 {
+		t.Errorf("BlockOf on empty program must be -1")
+	}
+	if _, ok := c.IPostDom(0); ok {
+		t.Errorf("empty program reported a post-dominator")
+	}
+	if _, ok := c.SimpleHammockJoin(0); ok {
+		t.Errorf("empty program reported a hammock")
+	}
+}
+
+func TestCFGUnreachableBlocks(t *testing.T) {
+	// Blocks 1–2 (PCs 1..2) are skipped by the entry jump; they must
+	// still appear in the CFG with correct extents and edges.
+	p := rawProg(0,
+		ejmp(3), // 0
+		enop(),  // 1: unreachable
+		ejmp(1), // 2: unreachable self-loop region
+		ehalt(), // 3
+	)
+	c := BuildCFG(p)
+	// Leaders: 0 (entry), 1 (fall-through of the jmp and its own target),
+	// 3 (jump target) — so the unreachable loop PCs 1..2 form one block.
+	if len(c.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (%v)", len(c.Blocks), c.Blocks)
+	}
+	// The unreachable loop (1 <-> 2) never reaches an exit; its blocks
+	// must not get a post-dominator, and the reachable entry must.
+	if _, ok := c.IPostDom(1); ok {
+		t.Errorf("unreachable loop block got a post-dominator")
+	}
+	if pd, ok := c.IPostDom(0); !ok || pd != 3 {
+		t.Errorf("IPostDom(0) = %d,%v; want 3,true", pd, ok)
+	}
+}
+
+func TestCFGInfiniteLoopNoPostDom(t *testing.T) {
+	// A reachable infinite loop with no exit: the loop blocks keep the
+	// full post-dominator set and must report none. The HALT after the
+	// loop is dead code.
+	p := rawProg(0,
+		enop(),  // 0
+		ejmp(1), // 1: spins forever
+		ehalt(), // 2: statically dead
+	)
+	c := BuildCFG(p)
+	if _, ok := c.IPostDom(0); ok {
+		t.Errorf("block on an inescapable loop path got a post-dominator")
+	}
+	if _, ok := c.IPostDom(1); ok {
+		t.Errorf("infinite loop body got a post-dominator")
+	}
+}
+
+func TestCFGHammockDegenerateShapes(t *testing.T) {
+	// Branch whose taken target equals its fall-through: not a hammock.
+	p := rawProg(0,
+		ebr(isa.EQ, 1), // 0: both edges land on 1
+		enop(),         // 1
+		ehalt(),        // 2
+	)
+	if _, ok := BuildCFG(p).SimpleHammockJoin(0); ok {
+		t.Errorf("branch with taken == fall-through classified as hammock")
+	}
+
+	// Non-branch PCs never form hammocks.
+	if _, ok := BuildCFG(p).SimpleHammockJoin(1); ok {
+		t.Errorf("non-branch classified as hammock")
+	}
+
+	// A body containing a CALL is not "plain": the hammock test must
+	// reject it even though the shape otherwise matches a simple if.
+	q := rawProg(3,
+		isa.Inst{Op: isa.ADDI, Dst: 4, Src1: 4, Imm: 1}, // 0: callee
+		isa.Inst{Op: isa.RET, Src1: isa.LR},             // 1
+		ehalt(),                                         // 2: filler exit
+		ebr(isa.EQ, 6),                                  // 3: if (skip body)
+		isa.Inst{Op: isa.CALL, Target: 0, Dst: isa.LR},  // 4: body with a call
+		enop(),  // 5
+		ehalt(), // 6: join
+	)
+	if _, ok := BuildCFG(q).SimpleHammockJoin(3); ok {
+		t.Errorf("body containing CALL classified as simple hammock")
+	}
+}
+
+func TestCFGHammockBodyLimit(t *testing.T) {
+	// plainBlockJoin caps "simple" bodies at 64 instructions: a 1-long
+	// body qualifies, a 65-long body must not.
+	build := func(bodyLen int) *Program {
+		code := []isa.Inst{ebr(isa.EQ, uint64(bodyLen+1))}
+		for i := 0; i < bodyLen; i++ {
+			code = append(code, isa.Inst{Op: isa.ADDI, Dst: 4, Src1: 4, Imm: 1})
+		}
+		code = append(code, ehalt()) // join / exit
+		return rawProg(0, code...)
+	}
+	small := build(1)
+	if join, ok := BuildCFG(small).SimpleHammockJoin(0); !ok || join != 2 {
+		t.Errorf("short if body: join = %d,%v; want 2,true", join, ok)
+	}
+	big := build(65)
+	if _, ok := BuildCFG(big).SimpleHammockJoin(0); ok {
+		t.Errorf("65-instruction body classified as simple hammock")
+	}
+}
+
+func TestValidateFallthroughOffEnd(t *testing.T) {
+	// A last instruction that can fall through must be rejected even
+	// when everything else is legal.
+	for name, last := range map[string]isa.Inst{
+		"nop":  enop(),
+		"br":   ebr(isa.EQ, 0),
+		"call": {Op: isa.CALL, Target: 0, Dst: isa.LR},
+		"addi": {Op: isa.ADDI, Dst: 4, Src1: 4, Imm: 1},
+	} {
+		p := rawProg(0, ehalt(), last)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s at end of image accepted", name)
+		}
+	}
+	// Unconditional transfers and HALT are fine.
+	for name, last := range map[string]isa.Inst{
+		"halt": ehalt(),
+		"jmp":  ejmp(0),
+		"ret":  {Op: isa.RET, Src1: isa.LR},
+		"jr":   {Op: isa.JR, Src1: isa.LR},
+	} {
+		p := rawProg(0, ehalt(), last)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s at end of image rejected: %v", name, err)
+		}
+	}
+}

@@ -152,7 +152,10 @@ func (p *Program) DivergePCs() []uint64 {
 }
 
 // Validate checks static well-formedness: all direct control-flow targets
-// must land inside the code image and the program must contain a HALT.
+// must land inside the code image, the program must contain a HALT, the
+// entry must be in range, and the last instruction must not fall through
+// off the end of the image (it must be an unconditional transfer or
+// HALT, so no execution path runs past the last PC).
 func (p *Program) Validate() error {
 	halted := false
 	for pc, in := range p.Code {
@@ -175,7 +178,19 @@ func (p *Program) Validate() error {
 	if p.Entry >= uint64(len(p.Code)) {
 		return fmt.Errorf("prog: entry %d outside code", p.Entry)
 	}
+	if last := p.Code[len(p.Code)-1]; !endsBlock(last.Op) {
+		return fmt.Errorf("prog: last instruction %v falls through off the end of the code image", last)
+	}
 	return nil
+}
+
+// endsBlock reports whether op never falls through to pc+1.
+func endsBlock(op isa.Op) bool {
+	switch op {
+	case isa.JMP, isa.JR, isa.RET, isa.HALT:
+		return true
+	}
+	return false
 }
 
 // Disassemble renders the program as assembly text with labels.

@@ -1,0 +1,206 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FrozenStats flags writes to core.Stats fields outside package core.
+//
+// The simulation result cache (internal/exp/simcache.go) hands the same
+// frozen *core.Stats to every caller that requested the same
+// configuration; a field write through such a pointer silently corrupts
+// every other experiment sharing the result. The sanctioned idiom is
+// st.Clone() first, so a write is accepted when the pointer demonstrably
+// came from a Clone() call or a fresh construction (&core.Stats{},
+// new(core.Stats)); writes through value copies are harmless and also
+// accepted.
+var FrozenStats = &Analyzer{
+	Name:    "frozenstats",
+	Doc:     "flag mutation of shared core.Stats outside package core without a Clone() origin",
+	Exclude: []string{"dmp/internal/core"},
+	Run:     runFrozenStats,
+}
+
+const corePkgPath = "dmp/internal/core"
+
+func runFrozenStats(pass *Pass) {
+	if !usesNamedType(pass, corePkgPath, "Stats") {
+		return
+	}
+	for _, file := range pass.Files {
+		origins := cloneOrigins(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					checkStatsWrite(pass, origins, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkStatsWrite(pass, origins, s.X)
+			}
+			return true
+		})
+	}
+}
+
+// usesNamedType reports whether the package references pkgPath.name at
+// all — a cheap skip for packages that never touch core.Stats.
+func usesNamedType(pass *Pass, pkgPath, name string) bool {
+	for _, obj := range pass.Info.Uses {
+		if tn, ok := obj.(*types.TypeName); ok &&
+			tn.Name() == name && tn.Pkg() != nil && tn.Pkg().Path() == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// checkStatsWrite reports lhs when it writes a field of core.Stats
+// through a receiver that is not provably a private copy.
+func checkStatsWrite(pass *Pass, origins map[types.Object]bool, lhs ast.Expr) {
+	sel, field, ok := statsFieldSelector(pass, lhs)
+	if !ok {
+		return
+	}
+	recv := unparen(sel.X)
+	recvType := pass.Info.Types[recv].Type
+	if recvType == nil {
+		return
+	}
+	_, isPtr := recvType.Underlying().(*types.Pointer)
+	if id, ok := recv.(*ast.Ident); ok {
+		if !isPtr {
+			// A value-typed local: the write only touches a copy.
+			return
+		}
+		if obj := identObj(pass.Info, id); obj != nil && origins[obj] {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"write to core.Stats field %s through pointer %q with no Clone() origin; shared frozen stats must be cloned before mutation",
+			field, id.Name)
+		return
+	}
+	// The receiver is itself a field/element of something else
+	// (e.sharedStats.X, results[i].X): not a private copy.
+	pass.Reportf(lhs.Pos(),
+		"write to core.Stats field %s through a shared expression; clone the stats before mutating", field)
+}
+
+// statsFieldSelector unwraps index/paren/deref layers of a write target
+// and reports whether the innermost selector selects a field of
+// core.Stats.
+func statsFieldSelector(pass *Pass, e ast.Expr) (*ast.SelectorExpr, string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok {
+				return nil, "", false
+			}
+			selection := pass.Info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return nil, "", false
+			}
+			if !isNamed(selection.Recv(), corePkgPath, "Stats") {
+				return nil, "", false
+			}
+			return sel, sel.Sel.Name, true
+		}
+	}
+}
+
+// cloneOrigins collects the objects in file that were (at least once)
+// assigned a freshly built or cloned Stats value.
+func cloneOrigins(pass *Pass, file *ast.File) map[types.Object]bool {
+	origins := map[types.Object]bool{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !isCloneExpr(pass, rhs) {
+			return
+		}
+		if obj := identObj(pass.Info, id); obj != nil {
+			origins[obj] = true
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					record(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					record(s.Names[i], s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return origins
+}
+
+// isCloneExpr reports whether e builds a private Stats: a .Clone() call,
+// a composite literal (possibly address-of) or new().
+func isCloneExpr(pass *Pass, e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return isCloneExpr(pass, x.X)
+	case *ast.CompositeLit:
+		return isNamed(pass.Info.Types[x].Type, corePkgPath, "Stats")
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Clone" {
+			return isNamed(pass.Info.Types[sel.X].Type, corePkgPath, "Stats")
+		}
+		if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" && len(x.Args) == 1 {
+			if _, isBuiltin := identObj(pass.Info, id).(*types.Builtin); isBuiltin {
+				return isNamed(pass.Info.Types[x.Args[0]].Type, corePkgPath, "Stats")
+			}
+		}
+	}
+	return false
+}
+
+// isNamed reports whether t (through pointers) is the named type
+// pkgPath.name. Identity is by path and name, not pointer equality: the
+// loader may type-check the defining package more than once.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			obj := u.Obj()
+			return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+		default:
+			return false
+		}
+	}
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

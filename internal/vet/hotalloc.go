@@ -1,0 +1,115 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func kindWord(t types.Type) string {
+	if _, ok := t.(*types.Map); ok {
+		return "map"
+	}
+	return "slice"
+}
+
+// HotAlloc guards the per-cycle pipeline loop of internal/core against
+// the costs PR 1 removed:
+//
+//   - any sort.Slice/SliceStable/Sort/Stable call in the package — the
+//     scheduler is sort-free by design (age order falls out of the
+//     ready-queue discipline);
+//   - heap allocation inside functions whose doc comment carries a
+//     `//dmp:hotpath` directive: make, new, composite literals and
+//     closures all allocate (or force escapes) on every cycle.
+var HotAlloc = &Analyzer{
+	Name:     "hotalloc",
+	Doc:      "flag sorting and per-cycle allocation reintroduced into the pipeline loop",
+	Packages: []string{"dmp/internal/core"},
+	Run:      runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+				return true
+			}
+			switch fn.Name() {
+			case "Slice", "SliceStable", "Sort", "Stable":
+				pass.Reportf(call.Pos(),
+					"sort.%s in internal/core: the pipeline is sort-free by design; use the scheduling-queue discipline", fn.Name())
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd.Doc) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+}
+
+// isHotPath reports whether a function's doc comment carries the
+// //dmp:hotpath directive.
+func isHotPath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//dmp:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	reported := map[*ast.CompositeLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			// &T{...}: the literal escapes to the heap.
+			if lit, ok := x.X.(*ast.CompositeLit); ok && x.Op == token.AND {
+				pass.Reportf(x.Pos(),
+					"address-taken composite literal in hot-path function %s allocates per cycle", name)
+				reported[lit] = true
+			}
+		case *ast.CompositeLit:
+			// A plain value-struct literal stays on the stack; only
+			// slice and map literals inherently allocate.
+			if reported[x] {
+				return true
+			}
+			if t := pass.Info.Types[x].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(x.Pos(),
+						"%s composite literal in hot-path function %s allocates per cycle",
+						kindWord(t.Underlying()), name)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(),
+				"closure in hot-path function %s allocates per cycle", name)
+			return false // its body is not per-cycle straight-line code
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+				if _, isBuiltin := identObj(pass.Info, id).(*types.Builtin); isBuiltin {
+					pass.Reportf(x.Pos(),
+						"%s in hot-path function %s allocates per cycle", id.Name, name)
+				}
+			}
+		}
+		return true
+	})
+}

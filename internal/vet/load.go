@@ -1,0 +1,235 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one fully type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("dmp/internal/core")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without the go toolchain's
+// package driver: module-local imports ("dmp/...") are resolved to
+// directories under the module root and checked from source; everything
+// else is delegated to the standard library's source importer, which
+// finds it in GOROOT. Both sides are memoized, so a Loader amortizes the
+// cost of shared dependencies across LoadDir calls.
+type Loader struct {
+	Root   string // module root (directory containing go.mod)
+	Module string // module path from go.mod
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	local map[string]*types.Package
+}
+
+// NewLoader returns a Loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("vet: source importer is not an ImporterFrom")
+	}
+	return &Loader{
+		Root:   root,
+		Module: mod,
+		fset:   fset,
+		std:    std,
+		local:  map[string]*types.Package{},
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("vet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("vet: no module directive in %s/go.mod", root)
+}
+
+// LoadDir parses and type-checks the package in dir with full type
+// information for analysis.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.Module
+	if rel, err := filepath.Rel(l.Root, dir); err == nil && rel != "." {
+		path = l.Module + "/" + filepath.ToSlash(rel)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom. Module-local paths are
+// resolved against the module root; everything else goes to the source
+// importer with the module root as the lookup directory so resolution is
+// independent of the process working directory.
+func (l *Loader) ImportFrom(path, _ string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		return l.importLocal(path)
+	}
+	return l.std.ImportFrom(path, l.Root, mode)
+}
+
+func (l *Loader) importLocal(path string) (*types.Package, error) {
+	if pkg, ok := l.local[path]; ok {
+		return pkg, nil
+	}
+	dir := l.Root
+	if rel := strings.TrimPrefix(path, l.Module); rel != "" {
+		dir = filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files for %s in %s", path, dir)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.local[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of dir, with comments (the
+// directive comments matter).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// packageDirs returns every directory under root holding at least one
+// non-test Go file, skipping testdata, vendor and dot-directories.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,47 @@
+// Package frozen is a dmpvet test fixture seeding frozenstats
+// violations: mutations of shared core.Stats without a Clone() origin.
+package frozen
+
+import "dmp/internal/core"
+
+// bad mutates a caller-owned (possibly cache-frozen) Stats in place.
+func bad(st *core.Stats) {
+	st.Cycles++          // want "Clone"
+	st.RetiredInsts = 3  // want "Clone"
+	st.ExitCases[0] += 2 // want "Clone"
+}
+
+type result struct {
+	shared *core.Stats
+	frozen core.Stats
+}
+
+// badIndirect writes through field and element expressions.
+func badIndirect(r *result, all []*core.Stats) {
+	r.shared.Flushes++  // want "clone"
+	r.frozen.Cycles = 1 // want "clone"
+	all[0].Cycles++     // want "clone"
+}
+
+// good derives private copies first.
+func good(st *core.Stats) uint64 {
+	c := st.Clone()
+	c.Cycles++ // ok: clone origin
+	fresh := &core.Stats{}
+	fresh.Flushes++ // ok: fresh construction
+	n := new(core.Stats)
+	n.Cycles = 7 // ok: new()
+	var local core.Stats
+	local.Cycles++ // ok: value copy
+	return c.Cycles + fresh.Flushes + n.Cycles + local.Cycles
+}
+
+// waived shows the //dmp:allow escape hatch.
+func waived(st *core.Stats) {
+	st.Cycles++ //dmp:allow frozenstats -- fixture for the suppression test
+}
+
+var _ = bad
+var _ = badIndirect
+var _ = good
+var _ = waived

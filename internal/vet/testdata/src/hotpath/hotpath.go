@@ -1,0 +1,33 @@
+// Package hotpath is a dmpvet test fixture seeding hotalloc violations:
+// sorting and per-cycle allocation in pipeline code.
+package hotpath
+
+import "sort"
+
+func sorter(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "sort-free"
+}
+
+// step models one pipeline cycle.
+//
+//dmp:hotpath
+func step(buf []uint64) []uint64 {
+	tmp := make([]uint64, 4)         // want "make"
+	box := &struct{ a, b int }{1, 2} // want "composite literal"
+	xs := []int{1, 2, 3}             // want "composite literal"
+	idx := map[int]bool{1: true}     // want "composite literal"
+	hook := func() {}                // want "closure"
+	hook()
+	pair := struct{ a, b int }{3, 4} // ok: value literal stays on the stack
+	_, _, _, _ = box, xs, idx, pair
+	return append(buf, tmp...)
+}
+
+// cold runs once at construction time; allocation is fine.
+func cold() []int {
+	return make([]int, 8)
+}
+
+var _ = sorter
+var _ = step
+var _ = cold

@@ -1,0 +1,68 @@
+// Package nondet is a dmpvet test fixture seeding nondeterminism
+// violations: wall-clock reads, math/rand and order-sensitive map
+// iteration.
+package nondet
+
+import (
+	"fmt"
+	"math/rand" // want "math/rand"
+	"time"
+)
+
+func clock() time.Duration {
+	t0 := time.Now()      // want "time.Now"
+	return time.Since(t0) // want "time.Since"
+}
+
+func spill(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "append"
+		out = append(out, k)
+	}
+	return out
+}
+
+func each(m map[int]int, fn func(int)) {
+	for k := range m { // want "function value"
+		fn(k)
+	}
+}
+
+func show(m map[int]int) {
+	for k, v := range m { // want "fmt output"
+		fmt.Println(k, v)
+	}
+}
+
+func send(m map[int]int, ch chan int) {
+	for k := range m { // want "channel send"
+		ch <- k
+	}
+}
+
+// sum is commutative: map order cannot change the result.
+func sum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// invert only writes another map: order-insensitive.
+func invert(m map[int]int) map[int]int {
+	out := map[int]int{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+var _ = rand.Int
+var _ = clock
+var _ = spill
+var _ = each
+var _ = show
+var _ = send
+var _ = sum
+var _ = invert

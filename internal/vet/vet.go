@@ -1,0 +1,218 @@
+// Package vet implements dmpvet, a repo-specific static analyzer suite
+// in the style of go/analysis, built only on the standard library's
+// go/ast, go/parser and go/types (the container has no module cache, so
+// golang.org/x/tools is deliberately not a dependency).
+//
+// The analyzers encode invariants that ordinary `go vet` cannot know
+// about:
+//
+//   - frozenstats: results handed out by the simulation cache are shared
+//     frozen *core.Stats; mutating one corrupts every other reader. Any
+//     field write through a *core.Stats that was not locally derived via
+//     Clone() (or freshly constructed) is flagged.
+//   - nondeterminism: the golden experiment tables are byte-compared in
+//     CI, so the simulator/experiment packages must be run-to-run
+//     deterministic: no wall-clock reads, no math/rand, no map iteration
+//     feeding order-sensitive output.
+//   - hotalloc: PR 1 removed per-cycle sorting and heap allocation from
+//     the pipeline loop; this analyzer keeps them out. Functions marked
+//     with a `//dmp:hotpath` doc directive must not allocate.
+//
+// A finding can be locally waived with a directive comment on the same
+// line or the line directly above:
+//
+//	//dmp:allow <analyzer>[ <analyzer>...] -- reason
+//
+// The reason text after "--" is free-form but encouraged.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check run over type-checked packages.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Packages restricts the analyzer to packages whose import path
+	// matches one of these prefixes; empty means every package. Exclude
+	// lists prefixes exempted even when Packages matches.
+	Packages []string
+	Exclude  []string
+
+	Run func(*Pass)
+}
+
+func (a *Analyzer) applies(path string) bool {
+	for _, p := range a.Exclude {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return false
+		}
+	}
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // import path of the package under analysis
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	allow map[string]map[int]bool // filename -> lines waived for this analyzer
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a //dmp:allow directive for
+// this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines := p.allow[position.Filename]; lines[position.Line] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Msg)
+}
+
+// DefaultAnalyzers returns the full suite in stable order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{FrozenStats, Nondeterminism, HotAlloc}
+}
+
+// Check loads every package under the module root and runs the analyzers
+// whose package filters match. A load or type error is returned as an
+// error (the tree must compile before it can be vetted).
+func Check(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		for _, a := range analyzers {
+			if !a.applies(pkg.Path) {
+				continue
+			}
+			diags = append(diags, runAnalyzer(a, pkg)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// runAnalyzer runs a single analyzer over a loaded package, ignoring the
+// analyzer's package filters (the caller applies them; tests bypass).
+func runAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Path:     pkg.Path,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		allow:    allowLines(pkg.Fset, pkg.Files, a.Name),
+		diags:    &diags,
+	}
+	a.Run(pass)
+	return diags
+}
+
+// allowLines scans every comment for //dmp:allow directives naming the
+// analyzer and returns, per file, the set of lines the directive waives:
+// the directive's own line and the line below it.
+func allowLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				covered := false
+				for _, n := range names {
+					if n == analyzer {
+						covered = true
+					}
+				}
+				if !covered {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// parseAllow extracts analyzer names from a "//dmp:allow a b -- reason"
+// comment; ok is false when the comment is not an allow directive.
+func parseAllow(text string) (names []string, ok bool) {
+	const directive = "//dmp:allow"
+	if !strings.HasPrefix(text, directive) {
+		return nil, false
+	}
+	rest := text[len(directive):]
+	if reason := strings.Index(rest, "--"); reason >= 0 {
+		rest = rest[:reason]
+	}
+	for _, f := range strings.Fields(rest) {
+		names = append(names, strings.Trim(f, ","))
+	}
+	return names, true
+}
