@@ -12,15 +12,18 @@
 package bench
 
 import (
+	"io"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"dmp/internal/bpred"
 	"dmp/internal/cache"
 	"dmp/internal/core"
 	"dmp/internal/emu"
 	"dmp/internal/exp"
+	"dmp/internal/obs"
 	"dmp/internal/profile"
 	"dmp/internal/workload"
 )
@@ -322,6 +325,48 @@ func BenchmarkProfilePass(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkObserverOverhead pins the cost of the internal/obs probe
+// layer on the hottest configuration (enhanced DMP, every hook site
+// live). "disabled" is the shipping default — probe nil, every hook
+// site a single pointer compare — and must stay within noise (<2%,
+// recorded in BENCH_obs.json) of the tree before the probe layer
+// existed. "attached" runs every sink at once (pipetrace, episode
+// timeline, interval sampler, heartbeat) into io.Discard and bounds
+// the price of turning observability on.
+func BenchmarkObserverOverhead(b *testing.B) {
+	p, err := exp.Annotated("mcf", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, probe func() *core.Probe) {
+		for i := 0; i < b.N; i++ {
+			cfg := core.EnhancedDMPConfig()
+			cfg.CheckRetirement = false
+			m, err := core.New(p, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if probe != nil {
+				m.SetProbe(probe())
+			}
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("attached", func(b *testing.B) {
+		run(b, func() *core.Probe {
+			return obs.Tee(
+				obs.NewPipetrace(io.Discard, obs.FormatText).Probe(),
+				obs.NewEpisodeLog(io.Discard).Probe(),
+				obs.NewIntervalSampler(io.Discard, 10000).Probe(),
+				obs.NewHeartbeat(io.Discard, time.Hour).Probe(),
+			)
+		})
+	})
 }
 
 // BenchmarkAblationAlternateGHR uses the paper's footnote-7 design choice

@@ -29,6 +29,7 @@ import (
 
 	"dmp/internal/exp"
 	"dmp/internal/lint"
+	"dmp/internal/obs"
 	"dmp/internal/prog"
 	"dmp/internal/workload"
 )
@@ -48,8 +49,26 @@ func main() {
 		nocheck = flag.Bool("nocheck", false, "disable the golden-model checker (faster)")
 		par     = flag.Int("parallel", 0, "simulation worker cap, shared by all experiments (default NumCPU)")
 		doLint  = flag.Bool("lint", false, "lint every benchmark program and annotation set before running")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a host heap profile to this file at exit")
+		exectrace  = flag.String("trace", "", "write a host runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartHostProfiles(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmpexp: profiling: %v\n", err)
+		os.Exit(1) // nothing started; nothing to stop
+	}
+	// os.Exit skips deferred calls, so every exit path below goes
+	// through this instead of a bare os.Exit.
+	exit := func(code int) {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpexp: profiling: %v\n", err)
+		}
+		os.Exit(code)
+	}
 
 	opts := exp.DefaultOptions()
 	opts.Scale = *scale
@@ -62,7 +81,7 @@ func main() {
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "dmpexp: specify experiment ids or 'all'; known:", strings.Join(exp.IDs(), " "))
-		os.Exit(2)
+		exit(2)
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = exp.IDs()
@@ -70,7 +89,7 @@ func main() {
 	for _, id := range ids {
 		if exp.All[id] == nil {
 			fmt.Fprintf(os.Stderr, "dmpexp: unknown experiment %q (known: %s)\n", id, strings.Join(exp.IDs(), " "))
-			os.Exit(2)
+			exit(2)
 		}
 	}
 
@@ -89,7 +108,7 @@ func main() {
 				p, err := annotated(b, opts.Scale, loops)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "dmpexp: lint %s: %v\n", b, err)
-					os.Exit(1)
+					exit(1)
 				}
 				for _, d := range lint.Check(p, lint.Options{}) {
 					fmt.Fprintf(os.Stderr, "dmpexp: lint %s (loops=%v): %s\n", b, loops, d)
@@ -101,7 +120,7 @@ func main() {
 		}
 		if bad > 0 {
 			fmt.Fprintf(os.Stderr, "dmpexp: lint: %d error(s)\n", bad)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "dmpexp: lint: clean")
 	}
@@ -146,6 +165,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "total %.1fs; result cache: %d simulations, %d reused\n",
 		time.Since(start).Seconds(), misses, hits)
 	if err := errors.Join(failed...); err != nil {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

@@ -1,0 +1,191 @@
+// Command dmpobs summarizes the observability artifacts dmpsim writes.
+//
+// Usage:
+//
+//	dmpobs -events mcf.events.jsonl   # episode timeline summary
+//	dmpobs -validate mcf.trace.json   # check a Chrome trace parses
+//
+// -events reads an episode timeline (dmpsim -events) and prints
+// per-event totals, the Table-1 exit-case breakdown, mean alternate-path
+// fetch length, mean enter-to-resolve episode duration, and the fetch
+// oracle's pause/resume counts. -validate parses a Chrome trace_event
+// file (dmpsim -pipetrace foo.json) and reports the event count,
+// exiting nonzero if the JSON is malformed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// epLine mirrors the JSONL keys internal/obs.EpisodeLog writes. Oracle
+// lines carry only cycle/event/steps; episode lines carry the rest.
+type epLine struct {
+	Cycle    uint64 `json:"cycle"`
+	Ep       uint64 `json:"ep"`
+	Event    string `json:"event"`
+	Case     *int   `json:"case"`
+	CaseName string `json:"caseName"`
+	PC       uint64 `json:"pc"`
+	CFM      uint64 `json:"cfm"`
+	Alt      uint64 `json:"alt"`
+	Loop     bool   `json:"loop"`
+	Dual     bool   `json:"dual"`
+	Steps    uint64 `json:"steps"`
+}
+
+func main() {
+	var (
+		events   = flag.String("events", "", "summarize this episode timeline (JSONL from dmpsim -events)")
+		validate = flag.String("validate", "", "parse this Chrome trace JSON (from dmpsim -pipetrace x.json) and report its event count")
+	)
+	flag.Parse()
+
+	if *events == "" && *validate == "" {
+		fmt.Fprintln(os.Stderr, "dmpobs: need -events or -validate (see -help)")
+		os.Exit(2)
+	}
+	if *validate != "" {
+		if err := validateTrace(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpobs: %s: %v\n", *validate, err)
+			os.Exit(1)
+		}
+	}
+	if *events != "" {
+		if err := summarizeEvents(*events); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpobs: %s: %v\n", *events, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// validateTrace unmarshals the whole trace as a JSON array and spot
+// checks that the events carry the trace_event fields Perfetto needs.
+func validateTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return fmt.Errorf("invalid Chrome trace JSON: %w", err)
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+		if _, ok := evs[0][k]; !ok {
+			return fmt.Errorf("trace events missing %q field", k)
+		}
+	}
+	fmt.Printf("%s: valid Chrome trace, %d events\n", path, len(evs))
+	return nil
+}
+
+func summarizeEvents(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var (
+		counts    = map[string]uint64{}
+		cases     [7]uint64
+		caseNames [7]string
+		enterAt   = map[uint64]uint64{} // episode id -> enter cycle
+		durSum    uint64                // enter-to-resolve cycles
+		durN      uint64
+		altSum    uint64 // alternate-path uops fetched per resolved episode
+		altN      uint64
+		pauses    uint64
+		resumes   uint64
+		lines     int
+	)
+	caseNames[0] = "squashed"
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		var ev epLine
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("line %d: %w", lines, err)
+		}
+		counts[ev.Event]++
+		switch ev.Event {
+		case "enter":
+			enterAt[ev.Ep] = ev.Cycle
+		case "resolve", "squash":
+			if ev.Case != nil && *ev.Case >= 0 && *ev.Case < len(cases) {
+				cases[*ev.Case]++
+				caseNames[*ev.Case] = ev.CaseName
+			}
+			if at, ok := enterAt[ev.Ep]; ok && ev.Event == "resolve" {
+				durSum += ev.Cycle - at
+				durN++
+				delete(enterAt, ev.Ep)
+			}
+			altSum += ev.Alt
+			altN++
+		case "oracle-pause":
+			pauses++
+		case "oracle-resume":
+			resumes++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines == 0 {
+		return fmt.Errorf("timeline is empty")
+	}
+
+	fmt.Printf("%s: %d events\n\n", path, lines)
+	fmt.Println("event totals:")
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-14s %10d\n", n, counts[n])
+	}
+
+	var total uint64
+	for _, c := range cases {
+		total += c
+	}
+	if total > 0 {
+		fmt.Println("\nexit-case attribution (Table 1; case 0 = squashed):")
+		for i, c := range cases {
+			if c == 0 {
+				continue
+			}
+			name := caseNames[i]
+			if name == "" {
+				name = fmt.Sprintf("case%d", i)
+			}
+			fmt.Printf("  %-10s %10d  (%5.1f%%)\n", name, c, 100*float64(c)/float64(total))
+		}
+	}
+	if durN > 0 {
+		fmt.Printf("\nepisodes resolved: %d, mean enter-to-resolve %.1f cycles\n",
+			durN, float64(durSum)/float64(durN))
+	}
+	if altN > 0 {
+		fmt.Printf("mean alternate-path uops fetched: %.1f\n", float64(altSum)/float64(altN))
+	}
+	if pauses+resumes > 0 {
+		fmt.Printf("fetch oracle: %d pauses, %d resumes\n", pauses, resumes)
+	}
+	return nil
+}

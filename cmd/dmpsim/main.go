@@ -9,16 +9,27 @@
 //
 // Modes: baseline, perfect, dmp, dhp, dualpath, enhanced (= dmp with all
 // Section 2.7 enhancements).
+//
+// Observability (see internal/obs): -pipetrace writes a per-uop
+// pipeline trace (Chrome trace_event JSON for Perfetto when the file
+// ends in .json, text otherwise), -events writes the dynamic
+// predication episode timeline as JSONL (summarize with dmpobs),
+// -interval writes an interval Stats CSV every N cycles. A progress
+// heartbeat prints on stderr every few seconds unless -q.
+// -cpuprofile/-memprofile/-trace profile the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"dmp/internal/core"
 	"dmp/internal/exp"
 	"dmp/internal/lint"
+	"dmp/internal/obs"
 	"dmp/internal/profile"
 	"dmp/internal/prog"
 	"dmp/internal/workload"
@@ -42,6 +53,15 @@ func main() {
 		nocheck  = flag.Bool("nocheck", false, "disable the golden-model retirement checker")
 		doLint   = flag.Bool("lint", false, "statically check the program and annotations, print findings, and exit")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+
+		pipetrace   = flag.String("pipetrace", "", "write a per-uop pipetrace to this file (.json = Chrome trace for Perfetto, else text)")
+		events      = flag.String("events", "", "write the dynamic-predication episode timeline (JSONL) to this file")
+		interval    = flag.Uint64("interval", 0, "sample Stats deltas every N cycles into an interval CSV")
+		intervalOut = flag.String("interval-out", "", "interval CSV destination (default stdout)")
+		quiet       = flag.Bool("q", false, "suppress the stderr progress heartbeat")
+		cpuprofile  = flag.String("cpuprofile", "", "write a host CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a host heap profile to this file at exit")
+		exectrace   = flag.String("trace", "", "write a host runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -127,13 +147,75 @@ func main() {
 		return
 	}
 
+	stopProfiles, err := obs.StartHostProfiles(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fatal("profiling: %v", err)
+	}
+
+	var probes []*core.Probe
+	var sinks []interface{ Close() error }
+	if *pipetrace != "" {
+		f, err := os.Create(*pipetrace)
+		if err != nil {
+			fatal("%v", err)
+		}
+		format := obs.FormatText
+		if strings.HasSuffix(*pipetrace, ".json") {
+			format = obs.FormatChrome
+		}
+		tr := obs.NewPipetrace(f, format)
+		probes = append(probes, tr.Probe())
+		sinks = append(sinks, tr, f)
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fatal("%v", err)
+		}
+		el := obs.NewEpisodeLog(f)
+		probes = append(probes, el.Probe())
+		sinks = append(sinks, el, f)
+	}
+	if *interval != 0 {
+		var w *os.File
+		if *intervalOut != "" {
+			f, err := os.Create(*intervalOut)
+			if err != nil {
+				fatal("%v", err)
+			}
+			w = f
+		} else {
+			w = os.Stdout
+		}
+		iv := obs.NewIntervalSampler(w, *interval)
+		probes = append(probes, iv.Probe())
+		sinks = append(sinks, iv)
+		if w != os.Stdout {
+			sinks = append(sinks, w)
+		}
+	}
+	if !*quiet {
+		probes = append(probes, obs.NewHeartbeat(os.Stderr, 5*time.Second).Probe())
+	}
+
 	m, err := core.New(p, cfg)
 	if err != nil {
 		fatal("%v", err)
 	}
-	st, err := m.Run()
-	if err != nil {
-		fatal("%v\npartial stats: %v", err, st)
+	if len(probes) > 0 {
+		m.SetProbe(obs.Tee(probes...))
+	}
+	st, runErr := m.Run()
+	for _, s := range sinks {
+		if err := s.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpsim: closing sink: %v\n", err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "dmpsim: profiling: %v\n", err)
+	}
+	if runErr != nil {
+		fatal("%v\npartial stats: %v", runErr, st)
 	}
 	printStats(st)
 }

@@ -40,6 +40,29 @@ const (
 	Exit6
 )
 
+// String names the exit case the way Stats.ExitCases indexes it:
+// "squashed" for index 0 (episode killed by a flush), "case1".."case6"
+// for the Table-1 cases.
+func (c ExitCase) String() string {
+	switch c {
+	case ExitNone:
+		return "squashed"
+	case Exit1:
+		return "case1"
+	case Exit2:
+		return "case2"
+	case Exit3:
+		return "case3"
+	case Exit4:
+		return "case4"
+	case Exit5:
+		return "case5"
+	case Exit6:
+		return "case6"
+	}
+	return "case?"
+}
+
 // episode is one dynamic predication episode: a low-confidence diverge
 // branch being dynamically predicated (or a dual-path fork). It carries
 // both fetch-side state (phase, CFM watch, alternate counters) and

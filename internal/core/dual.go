@@ -40,6 +40,9 @@ func (m *Machine) maybeFork(u *uop) bool {
 	m.dualEp = ep
 	m.episodes[ep.id] = ep
 	m.Stats.Episodes++
+	if m.probe != nil {
+		m.probeEpisode(EpEnter, ep)
+	}
 
 	// The forked (alternate) stream starts at the other target with the
 	// other history bit and a copy of the RAS.
@@ -150,6 +153,9 @@ func (m *Machine) resolveFork(u *uop, ep *episode) {
 	for _, q := range m.feq {
 		if q.ep == ep && q.stream != winner {
 			q.squashed = true
+			if m.probe != nil {
+				m.probeUop(StageSquash, q)
+			}
 			m.arena.recycleFEQ(q)
 			continue
 		}
@@ -190,11 +196,17 @@ func (m *Machine) conservativeDualAbort(u *uop, ep *episode) {
 	m.wakePred(m.preds.broadcast(ep.predID2, false))
 	ep.converted = true
 	ep.divergeU.dpConverted = true
+	if m.probe != nil {
+		m.probeEpisode(EpDualAbort, ep)
+	}
 
 	kept := m.feq[:0]
 	for _, q := range m.feq {
 		if q.ep == ep && q.stream == 1 {
 			q.squashed = true
+			if m.probe != nil {
+				m.probeUop(StageSquash, q)
+			}
 			m.arena.recycleFEQ(q)
 			continue
 		}

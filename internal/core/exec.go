@@ -72,6 +72,8 @@ func (m *Machine) issueStage() {
 // tryIssueLoad computes the load address, consults the store buffer, and
 // either issues the load or parks it for replay. Returns whether it
 // issued.
+//
+//dmp:hotpath
 func (m *Machine) tryIssueLoad(ld *uop) bool {
 	ld.addr = ld.src1.val + uint64(ld.inst.Imm)
 	ld.addrValid = true
@@ -96,13 +98,21 @@ func (m *Machine) tryIssueLoad(ld *uop) bool {
 	}
 	m.Stats.ExecutedInsts++
 	m.schedule(ld, m.cycle+uint64(lat))
+	if m.probe != nil {
+		m.probeUop(StageIssue, ld)
+	}
 	return true
 }
 
 // execute computes a non-load uop's result immediately and schedules its
 // completion after its latency.
+//
+//dmp:hotpath
 func (m *Machine) execute(u *uop) {
 	u.issued = true
+	if m.probe != nil {
+		m.probeUop(StageIssue, u)
+	}
 	lat := 1
 	switch u.kind {
 	case kindSelect:
@@ -167,6 +177,9 @@ func (m *Machine) completeStage() {
 			continue
 		}
 		u.done = true
+		if m.probe != nil {
+			m.probeUop(StageComplete, u)
+		}
 		// Value broadcast.
 		for _, w := range u.waiters {
 			if w.u.squashed {
@@ -319,6 +332,9 @@ func (m *Machine) setExit(ep *episode, c ExitCase) {
 	if ep.exitCase == ExitNone {
 		ep.exitCase = c
 		m.Stats.ExitCases[c]++
+		if m.probe != nil {
+			m.probeEpisode(EpResolve, ep)
+		}
 	}
 }
 
@@ -330,6 +346,9 @@ func (m *Machine) dropEpisodeAltFromFEQ(ep *episode) {
 		if q.ep == ep && (q.onAlt || q.kind == kindEnterAlt || q.kind == kindExitPred) {
 			q.squashed = true
 			q.sqBy, q.sqAt, q.sqHow = ep.divergeU.seq, m.cycle, "drop-alt-feq"
+			if m.probe != nil {
+				m.probeUop(StageSquash, q)
+			}
 			m.arena.recycleFEQ(q)
 			continue
 		}
@@ -363,6 +382,9 @@ func (m *Machine) recoverFrom(b *uop) {
 	for _, u := range dead {
 		u.squashed = true
 		u.sqBy, u.sqAt, u.sqHow = b.seq, m.cycle, "flush-rob"
+		if m.probe != nil {
+			m.probeUop(StageSquash, u)
+		}
 	}
 	m.rob = m.rob[:cut]
 
@@ -371,6 +393,9 @@ func (m *Machine) recoverFrom(b *uop) {
 	for _, q := range m.feq {
 		q.squashed = true
 		q.sqBy, q.sqAt, q.sqHow = b.seq, m.cycle, "flush-feq"
+		if m.probe != nil {
+			m.probeUop(StageSquash, q)
+		}
 		// Pre-rename uops are unreferenced outside the queue; the arena
 		// declines diverge branches, whose episodes (torn down just
 		// below) still read divergeU.seq.
@@ -387,6 +412,9 @@ func (m *Machine) recoverFrom(b *uop) {
 	for _, ep := range m.episodes {
 		if ep.divergeU.seq > b.seq {
 			m.Stats.ExitCases[0]++
+			if m.probe != nil {
+				m.probeEpisode(EpSquash, ep)
+			}
 			m.teardownEpisode(ep)
 		}
 	}

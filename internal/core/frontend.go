@@ -318,6 +318,9 @@ func (m *Machine) maybeEnterDP(u *uop) bool {
 		// else, ignore the newcomer.
 		if m.cfg.MultipleDiverge && m.feEp == ep && ep.phase == dpPredicted {
 			m.Stats.MDBConversions++
+			if m.probe != nil {
+				m.probeEpisode(EpMDBConvert, ep)
+			}
 			m.killEpisodeAssumePredicted(ep)
 		} else {
 			return false
@@ -367,6 +370,9 @@ func (m *Machine) enterEpisode(u *uop, d *prog.Diverge) {
 	m.feEp = ep
 	m.episodes[ep.id] = ep
 	m.Stats.Episodes++
+	if m.probe != nil {
+		m.probeEpisode(EpEnter, ep)
+	}
 }
 
 // switchToAlternate ends the predicted path at the CFM point: emit
@@ -380,6 +386,9 @@ func (m *Machine) switchToAlternate(ep *episode) {
 	m.emitMarker(kindEnterAlt, ep)
 	ep.predID2 = m.preds.alloc()
 	ep.phase = dpAlternate
+	if m.probe != nil {
+		m.probeEpisode(EpCFMReached, ep)
+	}
 	ep.altFetched = 0
 	m.fetchPC = ep.altStartPC
 	m.fetchGHR = ep.ghr1.SetLast(!ep.predictedTaken)
@@ -405,6 +414,9 @@ func (m *Machine) switchToAlternate(ep *episode) {
 func (m *Machine) exitPredication(ep *episode) {
 	m.emitMarker(kindExitPred, ep)
 	ep.phase = dpExited
+	if m.probe != nil {
+		m.probeEpisode(EpExitPred, ep)
+	}
 	m.feEp = nil
 	m.fetchHalted = false
 	if !m.cfg.KeepAlternateGHR {
@@ -430,6 +442,9 @@ func (m *Machine) exitPredication(ep *episode) {
 func (m *Machine) earlyExit(ep *episode) {
 	m.Stats.EarlyExits++
 	ep.earlyExited = true
+	if m.probe != nil {
+		m.probeEpisode(EpEarlyExit, ep)
+	}
 	m.killEpisodeAssumePredicted(ep)
 	m.fetchPC = ep.cfm
 	m.fetchGHR = ep.ghrAtCFM
@@ -471,6 +486,9 @@ func (m *Machine) killEpisodeAssumePredicted(ep *episode) {
 		kept := m.feq[:0]
 		for _, q := range m.feq {
 			if q.ep == ep && (q.onAlt || q.kind == kindEnterAlt || q.kind == kindExitPred) {
+				if m.probe != nil {
+					m.probeUop(StageSquash, q)
+				}
 				m.arena.recycleFEQ(q)
 				continue
 			}
@@ -508,9 +526,14 @@ func (m *Machine) emitMarker(kind uopKind, ep *episode) {
 
 // pushUop timestamps a uop for the front-end delay and appends it to the
 // fetch queue.
+//
+//dmp:hotpath
 func (m *Machine) pushUop(u *uop) {
 	u.renameAt = m.cycle + uint64(m.cfg.frontEndDelay())
 	m.feq = append(m.feq, u)
+	if m.probe != nil {
+		m.probeUop(StageFetch, u)
+	}
 }
 
 // redirectFetch moves the fetch PC (same-cycle redirect; the taken-branch
@@ -536,6 +559,9 @@ func (m *Machine) openWP() {
 	m.Stats.OraclePauses++
 	if m.traceWP != nil {
 		m.traceWP("pause")
+	}
+	if m.probe != nil {
+		m.probeOracle(false)
 	}
 	m.wpNextID++
 	if n := len(m.wpPool); n > 0 {
@@ -584,6 +610,9 @@ func (m *Machine) closeWP() {
 	m.Stats.OracleResumes++
 	if m.traceWP != nil {
 		m.traceWP("resume")
+	}
+	if m.probe != nil {
+		m.probeOracle(true)
 	}
 	e := m.wpOpen
 	m.wpOpen = nil

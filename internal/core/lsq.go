@@ -59,6 +59,8 @@ func (m *Machine) sbRetireHead(u *uop) bool {
 //
 // It returns the value, whether it came from the store buffer, and
 // whether the load must stall and retry.
+//
+//dmp:hotpath
 func (m *Machine) loadLookup(ld *uop) (val uint64, fromSB, stall bool) {
 	for i := len(m.sb) - 1; i >= 0; i-- {
 		e := m.sb[i]
@@ -72,6 +74,9 @@ func (m *Machine) loadLookup(ld *uop) (val uint64, fromSB, stall bool) {
 			continue
 		}
 		if !su.addrValid {
+			if m.probe != nil && !ld.inReplay {
+				m.probeMemBlock(ld, su)
+			}
 			return 0, false, true // rule 4
 		}
 		if su.addr&^7 != ld.addr&^7 {
@@ -82,6 +87,9 @@ func (m *Machine) loadLookup(ld *uop) (val uint64, fromSB, stall bool) {
 		}
 		if su.predID == ld.predID {
 			return su.dstVal, true, false // rule 3: same predicated path
+		}
+		if m.probe != nil && !ld.inReplay {
+			m.probeMemBlock(ld, su)
 		}
 		return 0, false, true // rule 3: cross-path, wait for the predicate
 	}

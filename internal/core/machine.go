@@ -83,6 +83,13 @@ type Machine struct {
 	// traceWP, when set, is called on oracle pause/resume (debugging).
 	traceWP func(string)
 
+	// Observability (probe.go). probe is nil unless SetProbe attached
+	// one; every hook site in the pipeline guards on that. obsSeq hands
+	// out unique per-uop ids for the pipetrace (seq is not unique:
+	// select-uops share their exit marker's seq).
+	probe  *Probe
+	obsSeq uint64
+
 	// Termination.
 	halted  bool
 	runErr  error
@@ -191,6 +198,9 @@ func (m *Machine) Run() (*Stats, error) {
 		m.renameStage()
 		m.fetchStage()
 		m.cycle++
+		if m.probe != nil {
+			m.probeTick()
+		}
 
 		// Deadlock watchdog: a correct machine always retires something
 		// within a bounded number of cycles (the worst chain is a memory
@@ -206,6 +216,9 @@ func (m *Machine) Run() (*Stats, error) {
 	m.Stats.FetchedUops = m.arena.allocated
 	m.Stats.WallSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- WallSeconds is excluded from golden tables
 	m.flushWPAll()
+	if m.probe != nil {
+		m.probeDone()
+	}
 	// The pipeline is permanently stopped: no uop will be dereferenced
 	// again, so the slabs can go back to the shared pool.
 	m.arena.release()

@@ -94,3 +94,7 @@ func (o *fetchOracle) rewindTo(count uint64) bool {
 // trim tells the oracle that all steps up to count have retired and can
 // never be rewound to.
 func (o *fetchOracle) trim(count uint64) { o.em.TrimHistory(count) }
+
+// steps returns the architectural instruction count the oracle has
+// executed so far (probe reporting).
+func (o *fetchOracle) steps() uint64 { return o.em.Count }

@@ -96,8 +96,13 @@ func (m *Machine) renameStage() {
 }
 
 // renameOne renames a single uop and dispatches it into the ROB.
+//
+//dmp:hotpath
 func (m *Machine) renameOne(u *uop) {
 	u.renamed = true
+	if m.probe != nil {
+		m.probeUop(StageRename, u)
+	}
 	// Marker rename actions run even for episodes that already resolved
 	// (the predicate is then known, but uops still in the queue behind
 	// the marker need the same RAT transformations); they are skipped
@@ -134,10 +139,15 @@ func (m *Machine) renameOne(u *uop) {
 }
 
 // finishMarker dispatches a marker uop as already-executed.
+//
+//dmp:hotpath
 func (m *Machine) finishMarker(u *uop) {
 	u.done = true
 	m.Stats.ExecutedMarkers++
 	m.rob = append(m.rob, u)
+	if m.probe != nil {
+		m.probeUop(StageComplete, u)
+	}
 }
 
 // curRAT returns the RAT a uop renames against (per-stream during
@@ -247,6 +257,8 @@ func (m *Machine) queueSelects(ep *episode, exitSeq uint64) {
 
 // insertSelect dispatches one select-uop: dst = p1 ? CP2 value
 // (predicted path) : active value (alternate path).
+//
+//dmp:hotpath
 func (m *Machine) insertSelect(req selReq) {
 	ep := m.selEp
 	su := m.arena.alloc()
@@ -254,6 +266,11 @@ func (m *Machine) insertSelect(req selReq) {
 	su.ep, su.selPred = ep, ep.predID1
 	su.hasDst, su.dstArch = true, req.reg
 	su.numSrc, su.renamed = 3, true
+	if m.probe != nil {
+		// Select-uops skip the fetch queue; report both stages here.
+		m.probeUop(StageFetch, su)
+		m.probeUop(StageRename, su)
+	}
 	su.src1 = m.operandFrom(req.fromCP2, su, 1, req.reg)
 	su.src2 = operand{ready: true}
 	su.src3 = m.operandFrom(req.fromRAT, su, 3, req.reg)

@@ -26,6 +26,9 @@ func (m *Machine) retireStage() {
 			return
 		}
 		m.rob = m.rob[1:]
+		if m.probe != nil {
+			m.probeUop(StageRetire, u)
+		}
 		m.salvageRetired(u)
 		m.retireOne(u)
 		if m.halted || m.runErr != nil {

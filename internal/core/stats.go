@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Stats aggregates everything the paper's evaluation reports.
 type Stats struct {
@@ -80,6 +83,49 @@ func (s *Stats) Clone() *Stats {
 	return &c
 }
 
+// Delta returns the field-wise difference s - prev for every counter:
+// what happened between two snapshots of the same run. Counters are
+// monotonic during a run, so each difference is well-defined; the
+// interval sampler (internal/obs) builds its per-interval rows from
+// this. HaltRetired is taken from s.
+func (s *Stats) Delta(prev *Stats) Stats {
+	d := Stats{
+		Cycles:             s.Cycles - prev.Cycles,
+		RetiredInsts:       s.RetiredInsts - prev.RetiredInsts,
+		RetiredFalse:       s.RetiredFalse - prev.RetiredFalse,
+		RetiredSelects:     s.RetiredSelects - prev.RetiredSelects,
+		RetiredMarkers:     s.RetiredMarkers - prev.RetiredMarkers,
+		FetchedInsts:       s.FetchedInsts - prev.FetchedInsts,
+		FetchedWrongCD:     s.FetchedWrongCD - prev.FetchedWrongCD,
+		FetchedWrongCI:     s.FetchedWrongCI - prev.FetchedWrongCI,
+		FetchedMarkers:     s.FetchedMarkers - prev.FetchedMarkers,
+		ExecutedInsts:      s.ExecutedInsts - prev.ExecutedInsts,
+		ExecutedSelects:    s.ExecutedSelects - prev.ExecutedSelects,
+		ExecutedMarkers:    s.ExecutedMarkers - prev.ExecutedMarkers,
+		RetiredBranches:    s.RetiredBranches - prev.RetiredBranches,
+		RetiredMispredicts: s.RetiredMispredicts - prev.RetiredMispredicts,
+		Flushes:            s.Flushes - prev.Flushes,
+		EarlyExits:         s.EarlyExits - prev.EarlyExits,
+		MDBConversions:     s.MDBConversions - prev.MDBConversions,
+		Episodes:           s.Episodes - prev.Episodes,
+		LowConfCorrect:     s.LowConfCorrect - prev.LowConfCorrect,
+		LowConfWrong:       s.LowConfWrong - prev.LowConfWrong,
+		L1IMisses:          s.L1IMisses - prev.L1IMisses,
+		L1DMisses:          s.L1DMisses - prev.L1DMisses,
+		L2Misses:           s.L2Misses - prev.L2Misses,
+		LoadStalls:         s.LoadStalls - prev.LoadStalls,
+		OraclePauses:       s.OraclePauses - prev.OraclePauses,
+		OracleResumes:      s.OracleResumes - prev.OracleResumes,
+		HaltRetired:        s.HaltRetired,
+		FetchedUops:        s.FetchedUops - prev.FetchedUops,
+		WallSeconds:        s.WallSeconds - prev.WallSeconds,
+	}
+	for i := range d.ExitCases {
+		d.ExitCases[i] = s.ExitCases[i] - prev.ExitCases[i]
+	}
+	return d
+}
+
 // SimCyclesPerSec returns simulated cycles per host wall-clock second.
 func (s *Stats) SimCyclesPerSec() float64 {
 	if s.WallSeconds <= 0 {
@@ -146,11 +192,18 @@ func (s *Stats) CommittedWork() uint64 {
 	return s.RetiredInsts + s.RetiredFalse + s.RetiredSelects + s.RetiredMarkers
 }
 
+// round2 rounds to two decimals with halves away from zero. fmt's %.2f
+// rounds halves to even, so e.g. a 0.125% misprediction rate (1 in 800)
+// would print as "0.12" — the conventional half-up result is 0.13.
+func round2(v float64) float64 {
+	return math.Floor(v*100+0.5) / 100
+}
+
 func (s *Stats) String() string {
 	return fmt.Sprintf(
 		"cycles=%d retired=%d IPC=%.3f br=%d misp=%d (%.2f%%) flushes=%d fetched=%d (wrongCD=%d wrongCI=%d) exec=%d sel=%d mark=%d episodes=%d cases=%v",
 		s.Cycles, s.RetiredInsts, s.IPC(), s.RetiredBranches, s.RetiredMispredicts,
-		100*s.MispredictRate(), s.Flushes, s.FetchedInsts, s.FetchedWrongCD,
+		round2(100*s.MispredictRate()), s.Flushes, s.FetchedInsts, s.FetchedWrongCD,
 		s.FetchedWrongCI, s.ExecutedInsts, s.ExecutedSelects, s.ExecutedMarkers,
 		s.Episodes, s.ExitCases)
 }

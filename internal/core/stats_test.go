@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -63,6 +64,96 @@ func TestStatsDerivedMetrics(t *testing.T) {
 		if !strings.Contains(str, want) {
 			t.Errorf("String() missing %q:\n%s", want, str)
 		}
+	}
+}
+
+// fillStats sets every numeric field of s to a distinct value derived
+// from mul (via reflection, so new Stats fields are covered
+// automatically).
+func fillStats(s *Stats, mul uint64) {
+	v := reflect.ValueOf(s).Elem()
+	n := uint64(0)
+	var set func(f reflect.Value)
+	set = func(f reflect.Value) {
+		switch f.Kind() {
+		case reflect.Uint64:
+			n++
+			f.SetUint(n * mul)
+		case reflect.Float64:
+			n++
+			f.SetFloat(float64(n * mul))
+		case reflect.Array:
+			for i := 0; i < f.Len(); i++ {
+				set(f.Index(i))
+			}
+		case reflect.Bool:
+			f.SetBool(true)
+		}
+	}
+	for i := 0; i < v.NumField(); i++ {
+		set(v.Field(i))
+	}
+}
+
+// TestStatsDelta pins that Delta subtracts *every* counter field: the
+// reflection walk fails if a newly added Stats field is forgotten in
+// Delta (its delta would be 0 where cur-prev is not).
+func TestStatsDelta(t *testing.T) {
+	var prev, cur Stats
+	fillStats(&prev, 1)
+	fillStats(&cur, 3)
+	d := cur.Delta(&prev)
+
+	dv := reflect.ValueOf(d)
+	pv := reflect.ValueOf(prev)
+	cv := reflect.ValueOf(cur)
+	typ := dv.Type()
+	var check func(name string, d, p, c reflect.Value)
+	check = func(name string, d, p, c reflect.Value) {
+		switch d.Kind() {
+		case reflect.Uint64:
+			if got, want := d.Uint(), c.Uint()-p.Uint(); got != want {
+				t.Errorf("Delta.%s = %d, want %d (field not subtracted?)", name, got, want)
+			}
+		case reflect.Float64:
+			if got, want := d.Float(), c.Float()-p.Float(); got != want {
+				t.Errorf("Delta.%s = %v, want %v", name, got, want)
+			}
+		case reflect.Array:
+			for i := 0; i < d.Len(); i++ {
+				check(name, d.Index(i), p.Index(i), c.Index(i))
+			}
+		case reflect.Bool:
+			if d.Bool() != c.Bool() {
+				t.Errorf("Delta.%s = %v, want copied from cur", name, d.Bool())
+			}
+		}
+	}
+	for i := 0; i < dv.NumField(); i++ {
+		check(typ.Field(i).Name, dv.Field(i), pv.Field(i), cv.Field(i))
+	}
+
+	// Summing deltas reconstructs the endpoint: prev + d == cur for the
+	// headline counters the interval sampler accumulates.
+	if prev.Cycles+d.Cycles != cur.Cycles || prev.RetiredInsts+d.RetiredInsts != cur.RetiredInsts {
+		t.Error("prev + Delta does not reconstruct cur")
+	}
+	if d2 := cur.Delta(&cur); d2.Cycles != 0 || d2.RetiredInsts != 0 || d2.ExitCases != ([7]uint64{}) {
+		t.Errorf("self-delta not zero: %+v", d2)
+	}
+}
+
+// TestStatsStringRounding pins half-away-from-zero percentage rounding:
+// 1 mispredict in 800 branches is exactly 0.125%, which %.2f alone would
+// render "0.12" (half-to-even).
+func TestStatsStringRounding(t *testing.T) {
+	s := &Stats{RetiredBranches: 800, RetiredMispredicts: 1}
+	if str := s.String(); !strings.Contains(str, "(0.13%)") {
+		t.Errorf("String() = %q, want misprediction rate rounded to 0.13%%", str)
+	}
+	s2 := &Stats{RetiredBranches: 400, RetiredMispredicts: 40}
+	if str := s2.String(); !strings.Contains(str, "(10.00%)") {
+		t.Errorf("String() = %q, want 10.00%%", str)
 	}
 }
 

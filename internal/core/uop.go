@@ -118,6 +118,11 @@ type uop struct {
 
 	// Dual path.
 	stream int // 0 = primary, 1 = forked stream
+
+	// Observability: unique pipetrace id, assigned lazily on the first
+	// probe event for this uop (0 = none yet). Unlike seq it is never
+	// shared between uops.
+	obsID uint64
 }
 
 // waiter records a consumer waiting on a producer's completion.

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dmp/internal/core"
+)
+
+// Heartbeat prints a one-line progress report every `every` of host
+// wall-clock time: simulated cycle, retired instructions, sim IPC, and
+// simulator throughput (Mcycles/s and retired MIPS) over the interval.
+// It rides the probe's cycle-gated Tick, so it runs on the simulation
+// goroutine — no timers, no extra goroutines, no locking — and its
+// time.Now calls happen only every tickEvery cycles.
+type Heartbeat struct {
+	w       io.Writer
+	every   time.Duration
+	started bool
+	last    time.Time
+	lastCyc uint64
+	lastRet uint64
+}
+
+// heartbeatTick is the cycle cadence at which the heartbeat samples the
+// wall clock: frequent enough to hit a multi-second reporting period
+// within ~tens of milliseconds at real simulator speeds, rare enough to
+// keep time.Now off the per-cycle path.
+const heartbeatTick = 1 << 14
+
+// NewHeartbeat creates a heartbeat writing to w (typically os.Stderr)
+// every `every` (0 defaults to 5s).
+func NewHeartbeat(w io.Writer, every time.Duration) *Heartbeat {
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	return &Heartbeat{w: w, every: every}
+}
+
+// Probe returns the probe to attach with Machine.SetProbe (or Tee).
+func (h *Heartbeat) Probe() *core.Probe {
+	return &core.Probe{TickEvery: heartbeatTick, Tick: h.tick}
+}
+
+func (h *Heartbeat) tick(cycle uint64, st *core.Stats) {
+	now := time.Now()
+	if !h.started {
+		h.started = true
+		h.last, h.lastCyc, h.lastRet = now, cycle, st.RetiredInsts
+		return
+	}
+	dt := now.Sub(h.last)
+	if dt < h.every {
+		return
+	}
+	dc := cycle - h.lastCyc
+	dr := st.RetiredInsts - h.lastRet
+	ipc := 0.0
+	if dc > 0 {
+		ipc = float64(dr) / float64(dc)
+	}
+	secs := dt.Seconds()
+	fmt.Fprintf(h.w, "dmpsim: cycle %d, retired %d, sim-IPC %.3f, %.1f Mcycles/s, %.2f MIPS\n",
+		cycle, st.RetiredInsts, ipc, float64(dc)/secs/1e6, float64(dr)/secs/1e6)
+	h.last, h.lastCyc, h.lastRet = now, cycle, st.RetiredInsts
+}

@@ -1,0 +1,183 @@
+// Package obs builds observability sinks on top of the core.Probe hook
+// layer: a per-uop pipetrace (text or Chrome trace_event JSON for
+// Perfetto), a dynamic-predication episode timeline (JSONL), an
+// interval Stats sampler (CSV), and a wall-clock progress heartbeat.
+// It also wraps the host-side runtime profilers (CPU/heap/execution
+// trace) behind one start/stop pair for the CLIs.
+//
+// Every sink exposes Probe() *core.Probe; attach one directly with
+// Machine.SetProbe, or combine several with Tee. Sinks only observe:
+// they never mutate core.Stats, and a run with any of them attached
+// retires the exact same instruction stream as an unobserved run
+// (pinned by TestObserversDoNotPerturb).
+package obs
+
+import (
+	"errors"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+
+	"dmp/internal/core"
+)
+
+// Tee fans one machine probe out to several sinks. Nil probes (and nil
+// callbacks within a probe) are skipped. The merged Tick runs at the
+// gcd of the children's cadences and re-checks each child's own
+// cadence, so every child observes exactly the cycles it asked for.
+func Tee(probes ...*core.Probe) *core.Probe {
+	var ps []*core.Probe
+	for _, p := range probes {
+		if p != nil {
+			if p.Tick != nil && p.TickEvery == 0 {
+				p.TickEvery = core.DefaultTickEvery
+			}
+			ps = append(ps, p)
+		}
+	}
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	out := &core.Probe{}
+	if len(ps) == 0 {
+		return out
+	}
+
+	var uops []func(core.UopEvent)
+	var eps []func(core.EpisodeEvent)
+	var oracles []func(core.OracleEvent)
+	var ticks []*core.Probe
+	var dones []func(*core.Stats)
+	for _, p := range ps {
+		if p.Uop != nil {
+			uops = append(uops, p.Uop)
+		}
+		if p.Episode != nil {
+			eps = append(eps, p.Episode)
+		}
+		if p.Oracle != nil {
+			oracles = append(oracles, p.Oracle)
+		}
+		if p.Tick != nil {
+			ticks = append(ticks, p)
+			out.TickEvery = gcd(out.TickEvery, p.TickEvery)
+		}
+		if p.Done != nil {
+			dones = append(dones, p.Done)
+		}
+	}
+	if len(uops) > 0 {
+		out.Uop = func(ev core.UopEvent) {
+			for _, f := range uops {
+				f(ev)
+			}
+		}
+	}
+	if len(eps) > 0 {
+		out.Episode = func(ev core.EpisodeEvent) {
+			for _, f := range eps {
+				f(ev)
+			}
+		}
+	}
+	if len(oracles) > 0 {
+		out.Oracle = func(ev core.OracleEvent) {
+			for _, f := range oracles {
+				f(ev)
+			}
+		}
+	}
+	if len(ticks) > 0 {
+		out.Tick = func(cycle uint64, s *core.Stats) {
+			for _, p := range ticks {
+				if cycle%p.TickEvery == 0 {
+					p.Tick(cycle, s)
+				}
+			}
+		}
+	}
+	if len(dones) > 0 {
+		out.Done = func(s *core.Stats) {
+			for _, f := range dones {
+				f(s)
+			}
+		}
+	}
+	return out
+}
+
+func gcd(a, b uint64) uint64 {
+	if a == 0 {
+		return b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// StartHostProfiles starts the requested host-side profilers (any
+// argument may be empty): a CPU profile, a heap profile written at
+// stop, and a runtime execution trace. It returns a stop function that
+// finishes and closes everything; callers must invoke it before the
+// process exits (explicitly on os.Exit paths — deferred calls do not
+// run there).
+func StartHostProfiles(cpuFile, memFile, traceFile string) (stop func() error, err error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]() //nolint:errcheck // already failing
+		}
+		return nil, err
+	}
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		stops = append(stops, func() error {
+			rtrace.Stop()
+			return f.Close()
+		})
+	}
+	if memFile != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // up-to-date allocation data
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			return errors.Join(werr, cerr)
+		})
+	}
+	return func() error {
+		var errs []error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
+}

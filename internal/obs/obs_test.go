@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dmp/internal/core"
+	"dmp/internal/exp"
+)
+
+// runMCF runs mcf at scale 1 on the enhanced DMP configuration (the
+// configuration that exercises every probe hook: episodes, early exit,
+// MDB, select-uops), optionally with a probe attached.
+func runMCF(t *testing.T, loops bool, p *core.Probe) *core.Stats {
+	t.Helper()
+	prg, err := exp.Annotated("mcf", 1)
+	if loops {
+		prg, err = exp.AnnotatedLoops("mcf", 1)
+	}
+	if err != nil {
+		t.Fatalf("annotate: %v", err)
+	}
+	cfg := core.EnhancedDMPConfig()
+	cfg.EnableLoopDiverge = loops
+	m, err := core.New(prg, cfg)
+	if err != nil {
+		t.Fatalf("new machine: %v", err)
+	}
+	if p != nil {
+		m.SetProbe(p)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return st
+}
+
+// TestObserversDoNotPerturb is the tentpole invariant: attaching every
+// sink at once leaves core.Stats byte-identical to an unobserved run
+// (so golden experiment tables cannot move), and each sink's own
+// aggregation agrees with the machine's: the episode timeline's
+// exit-case tally equals Stats.ExitCases, the interval CSV's summed
+// deltas equal the final Stats, and the Chrome trace is valid non-empty
+// JSON.
+func TestObserversDoNotPerturb(t *testing.T) {
+	for _, loops := range []bool{false, true} {
+		t.Run("loops="+strconv.FormatBool(loops), func(t *testing.T) {
+			base := runMCF(t, loops, nil)
+
+			var ptBuf, evBuf, ivBuf bytes.Buffer
+			trace := NewPipetrace(&ptBuf, FormatChrome)
+			elog := NewEpisodeLog(&evBuf)
+			samp := NewIntervalSampler(&ivBuf, 5000)
+			hb := NewHeartbeat(io.Discard, time.Hour)
+			st := runMCF(t, loops, Tee(trace.Probe(), elog.Probe(), samp.Probe(), hb.Probe()))
+			if err := trace.Close(); err != nil {
+				t.Fatalf("pipetrace close: %v", err)
+			}
+			if err := elog.Close(); err != nil {
+				t.Fatalf("episode log close: %v", err)
+			}
+			if err := samp.Close(); err != nil {
+				t.Fatalf("sampler close: %v", err)
+			}
+
+			// Byte-identical Stats (WallSeconds is host time, excluded).
+			a, b := *base, *st
+			a.WallSeconds, b.WallSeconds = 0, 0
+			if a != b {
+				t.Errorf("observed run diverged from unobserved run:\n  base: %+v\n  obs:  %+v", a, b)
+			}
+
+			// Episode timeline attribution == the machine's Table-1 tally.
+			if elog.Cases() != st.ExitCases {
+				t.Errorf("episode log cases %v != Stats.ExitCases %v", elog.Cases(), st.ExitCases)
+			}
+			if st.Episodes == 0 {
+				t.Fatal("run produced no episodes; test exercises nothing")
+			}
+			if !strings.Contains(evBuf.String(), `"event":"enter"`) ||
+				!strings.Contains(evBuf.String(), `"event":"resolve"`) {
+				t.Error("episode timeline missing enter/resolve events")
+			}
+
+			// Chrome trace: valid JSON, non-empty, per-uop args present.
+			var events []map[string]any
+			if err := json.Unmarshal(ptBuf.Bytes(), &events); err != nil {
+				t.Fatalf("chrome trace does not parse: %v", err)
+			}
+			if len(events) == 0 {
+				t.Fatal("chrome trace is empty")
+			}
+			for _, e := range events[:1] {
+				for _, k := range []string{"name", "ph", "ts", "dur", "args"} {
+					if _, ok := e[k]; !ok {
+						t.Errorf("trace event missing %q: %v", k, e)
+					}
+				}
+			}
+
+			// Interval CSV column sums == final Stats.
+			checkIntervalSums(t, ivBuf.String(), st)
+		})
+	}
+}
+
+// checkIntervalSums sums every delta column of the interval CSV and
+// compares against the final Stats counter it samples.
+func checkIntervalSums(t *testing.T, csv string, st *core.Stats) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("interval CSV has no data rows:\n%s", csv)
+	}
+	cols := strings.Split(strings.TrimSpace(lines[0]), ",")
+	sums := make(map[string]uint64, len(cols))
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(cols) {
+			t.Fatalf("row has %d fields, header has %d: %q", len(fields), len(cols), line)
+		}
+		for i, f := range fields {
+			if cols[i] == "cycle" || cols[i] == "ipc" {
+				continue // absolute / derived columns
+			}
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				t.Fatalf("column %s: %v", cols[i], err)
+			}
+			sums[cols[i]] += v
+		}
+	}
+	want := map[string]uint64{
+		"cycles": st.Cycles, "retired": st.RetiredInsts, "retired_false": st.RetiredFalse,
+		"selects": st.RetiredSelects, "markers": st.RetiredMarkers,
+		"fetched": st.FetchedInsts, "fetched_markers": st.FetchedMarkers,
+		"wrong_cd": st.FetchedWrongCD, "wrong_ci": st.FetchedWrongCI,
+		"exec": st.ExecutedInsts, "exec_selects": st.ExecutedSelects, "exec_markers": st.ExecutedMarkers,
+		"branches": st.RetiredBranches, "mispredicts": st.RetiredMispredicts, "flushes": st.Flushes,
+		"episodes": st.Episodes, "early_exits": st.EarlyExits, "mdb": st.MDBConversions,
+		"exit0": st.ExitCases[0], "exit1": st.ExitCases[1], "exit2": st.ExitCases[2],
+		"exit3": st.ExitCases[3], "exit4": st.ExitCases[4], "exit5": st.ExitCases[5], "exit6": st.ExitCases[6],
+		"lowconf_ok": st.LowConfCorrect, "lowconf_bad": st.LowConfWrong,
+		"l1i": st.L1IMisses, "l1d": st.L1DMisses, "l2": st.L2Misses,
+		"load_stalls": st.LoadStalls, "oracle_pauses": st.OraclePauses, "oracle_resumes": st.OracleResumes,
+		"uops": st.FetchedUops,
+	}
+	if len(want) != len(cols)-2 {
+		t.Errorf("column map covers %d columns, CSV has %d delta columns", len(want), len(cols)-2)
+	}
+	for col, w := range want {
+		if sums[col] != w {
+			t.Errorf("summed column %s = %d, final Stats = %d", col, sums[col], w)
+		}
+	}
+}
+
+// TestPipetraceText smoke-checks the text renderer: every retired and
+// squashed uop gets a line with its stage cycles.
+func TestPipetraceText(t *testing.T) {
+	var buf bytes.Buffer
+	trace := NewPipetrace(&buf, FormatText)
+	runMCF(t, false, trace.Probe())
+	if err := trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "retire=") {
+		t.Error("text pipetrace has no retire lines")
+	}
+	if !strings.Contains(out, "select-uop") {
+		t.Error("text pipetrace records no select-uops on an enhanced DMP run")
+	}
+	n := strings.Count(out, "\n")
+	if n < 1000 {
+		t.Errorf("text pipetrace suspiciously short: %d lines", n)
+	}
+}
+
+// TestTee pins the Tick multiplexing: children with different cadences
+// each fire exactly on their own cycle multiples, and the merged
+// cadence is the gcd.
+func TestTee(t *testing.T) {
+	var a, b []uint64
+	pa := &core.Probe{TickEvery: 6, Tick: func(c uint64, _ *core.Stats) { a = append(a, c) }}
+	pb := &core.Probe{TickEvery: 10, Tick: func(c uint64, _ *core.Stats) { b = append(b, c) }}
+	tee := Tee(pa, pb, nil)
+	if tee.TickEvery != 2 {
+		t.Fatalf("merged TickEvery = %d, want gcd 2", tee.TickEvery)
+	}
+	for c := uint64(2); c <= 30; c += 2 {
+		tee.Tick(c, nil)
+	}
+	if want := []uint64{6, 12, 18, 24, 30}; !equalU64(a, want) {
+		t.Errorf("child a fired at %v, want %v", a, want)
+	}
+	if want := []uint64{10, 20, 30}; !equalU64(b, want) {
+		t.Errorf("child b fired at %v, want %v", b, want)
+	}
+
+	// A single probe passes through unchanged; an empty tee is inert.
+	if got := Tee(pa); got != pa {
+		t.Error("single-probe Tee did not pass through")
+	}
+	if got := Tee(); got.Uop != nil || got.Tick != nil || got.Done != nil {
+		t.Error("empty Tee has callbacks")
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

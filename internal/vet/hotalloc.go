@@ -14,19 +14,23 @@ func kindWord(t types.Type) string {
 	return "slice"
 }
 
-// HotAlloc guards the per-cycle pipeline loop of internal/core against
-// the costs PR 1 removed:
+// HotAlloc guards the per-cycle pipeline loop of internal/core (and the
+// internal/obs sinks that ride it) against the costs PR 1 removed:
 //
 //   - any sort.Slice/SliceStable/Sort/Stable call in the package — the
 //     scheduler is sort-free by design (age order falls out of the
 //     ready-queue discipline);
 //   - heap allocation inside functions whose doc comment carries a
 //     `//dmp:hotpath` directive: make, new, composite literals and
-//     closures all allocate (or force escapes) on every cycle.
+//     closures all allocate (or force escapes) on every cycle;
+//   - probe hook emission (a call to a probe* method) in a hot-path
+//     function outside an `if <recv>.probe != nil` guard: the
+//     observability contract is that a detached probe costs one pointer
+//     compare per hook site, which only holds if every site is guarded.
 var HotAlloc = &Analyzer{
 	Name:     "hotalloc",
-	Doc:      "flag sorting and per-cycle allocation reintroduced into the pipeline loop",
-	Packages: []string{"dmp/internal/core"},
+	Doc:      "flag sorting, per-cycle allocation, and unguarded probe hooks in the pipeline loop",
+	Packages: []string{"dmp/internal/core", "dmp/internal/obs"},
 	Run:      runHotAlloc,
 }
 
@@ -75,6 +79,7 @@ func isHotPath(doc *ast.CommentGroup) bool {
 func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 	name := fd.Name.Name
 	reported := map[*ast.CompositeLit]bool{}
+	guarded := probeGuardedRanges(fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.UnaryExpr:
@@ -109,7 +114,64 @@ func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 						"%s in hot-path function %s allocates per cycle", id.Name, name)
 				}
 			}
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok &&
+				strings.HasPrefix(sel.Sel.Name, "probe") && !inRanges(guarded, x.Pos()) {
+				pass.Reportf(x.Pos(),
+					"unguarded %s call in hot-path function %s: wrap the hook in `if <recv>.probe != nil` so the detached probe stays branch-only",
+					sel.Sel.Name, name)
+			}
 		}
 		return true
 	})
+}
+
+// span is a half-open source range.
+type span struct{ lo, hi token.Pos }
+
+func inRanges(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.lo <= pos && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// probeGuardedRanges collects the bodies of if statements whose
+// condition (or any conjunct of it) compares a `.probe` selector against
+// nil — the ranges inside which probe hook emission is allowed.
+func probeGuardedRanges(body *ast.BlockStmt) []span {
+	var spans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if ok && condChecksProbe(ifs.Cond) {
+			spans = append(spans, span{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// condChecksProbe reports whether the expression contains a
+// `<x>.probe != nil` comparison anywhere (so `m.probe != nil && more`
+// qualifies).
+func condChecksProbe(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.NEQ {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+			sel, ok := unparen(pair[0]).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "probe" {
+				continue
+			}
+			if id, ok := unparen(pair[1]).(*ast.Ident); ok && id.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }

@@ -28,6 +28,41 @@ func cold() []int {
 	return make([]int, 8)
 }
 
+// machine models the probe hook pattern: emission from a hot-path
+// function must sit inside an `if <recv>.probe != nil` guard.
+type machine struct{ probe *int }
+
+func (m *machine) probeEmit(v int) {}
+
+// guardedHooks is per-cycle code with correctly guarded probe hooks,
+// including a compound condition.
+//
+//dmp:hotpath
+func (m *machine) guardedHooks(v int) {
+	if m.probe != nil {
+		m.probeEmit(v)
+	}
+	if m.probe != nil && v > 0 {
+		m.probeEmit(v + 1)
+	}
+}
+
+// unguardedHook emits without the nil guard: with a probe detached this
+// still pays a call per cycle.
+//
+//dmp:hotpath
+func (m *machine) unguardedHook(v int) {
+	m.probeEmit(v) // want "unguarded"
+	if v > 0 {
+		m.probeEmit(v) // want "unguarded"
+	}
+}
+
+// coldHook is not hot-path code; unguarded emission is fine.
+func (m *machine) coldHook(v int) {
+	m.probeEmit(v)
+}
+
 var _ = sorter
 var _ = step
 var _ = cold

@@ -129,6 +129,12 @@ func TestAnalyzerApplies(t *testing.T) {
 	if !HotAlloc.applies("dmp/internal/core") {
 		t.Error("hotalloc must run on core")
 	}
+	if !HotAlloc.applies("dmp/internal/obs") {
+		t.Error("hotalloc must run on the obs sinks (their Uop callbacks ride the hot path)")
+	}
+	if HotAlloc.applies("dmp/cmd/dmpobs") {
+		t.Error("hotalloc must not run on the offline summarizer")
+	}
 }
 
 // TestRepoIsVetClean is the live gate: the real tree must have zero
