@@ -369,6 +369,37 @@ func BenchmarkObserverOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkMergePredictorOverhead pins the cost of feeding the
+// merge-point predictor (internal/merge) from retirement. Both legs run
+// enhanced DMP on mcf with "never-low" confidence, so neither enters an
+// episode and the runs are behaviorally identical: "annotated" has no
+// predictor at all, "hybrid" observes every retired instruction and
+// trains on every mispredicted branch. The difference is the pure
+// lookup+train overhead, bounded <3% in BENCH_merge.json.
+func BenchmarkMergePredictorOverhead(b *testing.B) {
+	p, err := exp.Annotated("mcf", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, src string) {
+		for i := 0; i < b.N; i++ {
+			cfg := core.EnhancedDMPConfig()
+			cfg.CheckRetirement = false
+			cfg.ConfidenceName = "never-low"
+			cfg.CFMSource = src
+			m, err := core.New(p, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("annotated", func(b *testing.B) { run(b, "annotated") })
+	b.Run("hybrid", func(b *testing.B) { run(b, "hybrid") })
+}
+
 // BenchmarkAblationAlternateGHR uses the paper's footnote-7 design choice
 // (keep the alternate path's global history at exit) instead of this
 // implementation's default (restore the predicted path's history).

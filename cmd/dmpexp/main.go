@@ -7,8 +7,8 @@
 //	dmpexp -bench mcf,twolf fig8 # restrict the suite
 //
 // Experiment ids: table2 table3 fig1 fig6 fig7 fig8 fig9 fig10 fig11
-// fig12 fig13a fig13b dualpath loopdiverge (the authoritative list is
-// exp.IDs(), which the usage error prints).
+// fig12 fig13a fig13b dualpath loopdiverge mergepred (the authoritative
+// list is exp.IDs(), which the usage error prints).
 //
 // All requested experiments generate concurrently: the process-wide
 // result cache in internal/exp simulates each unique (benchmark, config,

@@ -35,6 +35,7 @@ type epLine struct {
 	Alt      uint64 `json:"alt"`
 	Loop     bool   `json:"loop"`
 	Dual     bool   `json:"dual"`
+	Dyn      bool   `json:"dyn"` // CFM supplied by the runtime merge-point predictor
 	Steps    uint64 `json:"steps"`
 }
 
@@ -102,6 +103,7 @@ func summarizeEvents(path string) error {
 		durN      uint64
 		altSum    uint64 // alternate-path uops fetched per resolved episode
 		altN      uint64
+		dynEps    uint64 // episodes entered from a learned (predictor) CFM
 		pauses    uint64
 		resumes   uint64
 		lines     int
@@ -124,6 +126,9 @@ func summarizeEvents(path string) error {
 		switch ev.Event {
 		case "enter":
 			enterAt[ev.Ep] = ev.Cycle
+			if ev.Dyn {
+				dynEps++
+			}
 		case "resolve", "squash":
 			if ev.Case != nil && *ev.Case >= 0 && *ev.Case < len(cases) {
 				cases[*ev.Case]++
@@ -183,6 +188,9 @@ func summarizeEvents(path string) error {
 	}
 	if altN > 0 {
 		fmt.Printf("mean alternate-path uops fetched: %.1f\n", float64(altSum)/float64(altN))
+	}
+	if dynEps > 0 {
+		fmt.Printf("episodes from learned (dynamic) CFM points: %d\n", dynEps)
 	}
 	if pauses+resumes > 0 {
 		fmt.Printf("fetch oracle: %d pauses, %d resumes\n", pauses, resumes)

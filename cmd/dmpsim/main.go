@@ -10,6 +10,13 @@
 // Modes: baseline, perfect, dmp, dhp, dualpath, enhanced (= dmp with all
 // Section 2.7 enhancements).
 //
+// -cfm-source selects where DMP finds merge points: annotated (compiler
+// annotations, the default), dynamic (the runtime merge-point predictor
+// of internal/merge — no annotations needed), or hybrid (annotation
+// first, predictor for unannotated branches). -merge-table sizes the
+// predictor's reconvergence table; -merge-stats appends a predictor
+// summary line to the output.
+//
 // Observability (see internal/obs): -pipetrace writes a per-uop
 // pipeline trace (Chrome trace_event JSON for Perfetto when the file
 // ends in .json, text otherwise), -events writes the dynamic
@@ -50,6 +57,9 @@ func main() {
 		eexit    = flag.Bool("eexit", false, "enable early exit (2.7.2)")
 		mdb      = flag.Bool("mdb", false, "enable multiple diverge branches (2.7.3)")
 		loops    = flag.Bool("loops", false, "enable diverge loop branches (2.7.4)")
+		cfmSrc   = flag.String("cfm-source", "annotated", "CFM point source: annotated|dynamic|hybrid (dynamic/hybrid use the runtime merge-point predictor)")
+		mergeTbl = flag.Int("merge-table", 0, "merge-point predictor table entries (0 = default; needs -cfm-source dynamic|hybrid)")
+		mergeSt  = flag.Bool("merge-stats", false, "print a merge-point predictor summary line")
 		nocheck  = flag.Bool("nocheck", false, "disable the golden-model retirement checker")
 		doLint   = flag.Bool("lint", false, "statically check the program and annotations, print findings, and exit")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
@@ -105,6 +115,9 @@ func main() {
 	}
 	if *loops {
 		cfg.EnableLoopDiverge = true
+	}
+	if err := setCFMSource(&cfg, *cfmSrc, *mergeTbl); err != nil {
+		fatal("%v", err)
 	}
 
 	var p *prog.Program
@@ -218,6 +231,35 @@ func main() {
 		fatal("%v\npartial stats: %v", runErr, st)
 	}
 	printStats(st)
+	if *mergeSt {
+		fmt.Print(mergeStatsLine(st))
+	}
+}
+
+// setCFMSource validates and applies the -cfm-source / -merge-table
+// flags. Split out of main so the flag-rejection contract is testable.
+func setCFMSource(cfg *core.Config, src string, table int) error {
+	switch src {
+	case "annotated", "dynamic", "hybrid":
+	default:
+		return fmt.Errorf("invalid -cfm-source %q (want annotated, dynamic or hybrid)", src)
+	}
+	if table < 0 {
+		return fmt.Errorf("invalid -merge-table %d (must be non-negative)", table)
+	}
+	if table > 0 && src == "annotated" {
+		return fmt.Errorf("-merge-table needs -cfm-source dynamic or hybrid")
+	}
+	cfg.CFMSource = src
+	cfg.MergeTableSize = table
+	return nil
+}
+
+// mergeStatsLine renders the -merge-stats summary.
+func mergeStatsLine(s *core.Stats) string {
+	return fmt.Sprintf("merge predictor   %12d hits, %d misses, %d trainings, %d evictions, %d learned-CFM episodes, %d merge mispredicts\n",
+		s.MergeHits, s.MergeMisses, s.MergeTrainings, s.MergeEvictions,
+		s.DynCFMEpisodes, s.MergeMispredicts)
 }
 
 func printStats(s *core.Stats) {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dmp/internal/core"
+)
+
+// TestSetCFMSource pins the -cfm-source / -merge-table flag contract:
+// the three sources are accepted and applied, anything else (and any
+// inconsistent table size) is a usage error that leaves the config
+// untouched.
+func TestSetCFMSource(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		table   int
+		wantErr string
+		wantSrc string
+		wantTbl int
+	}{
+		{name: "annotated", src: "annotated", wantSrc: "annotated"},
+		{name: "dynamic", src: "dynamic", wantSrc: "dynamic"},
+		{name: "hybrid", src: "hybrid", wantSrc: "hybrid"},
+		{name: "dynamic-sized", src: "dynamic", table: 128, wantSrc: "dynamic", wantTbl: 128},
+		{name: "unknown", src: "oracle", wantErr: "invalid -cfm-source"},
+		{name: "empty", src: "", wantErr: "invalid -cfm-source"},
+		{name: "negative-table", src: "dynamic", table: -1, wantErr: "invalid -merge-table"},
+		{name: "table-without-predictor", src: "annotated", table: 64, wantErr: "-merge-table needs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := core.EnhancedDMPConfig()
+			err := setCFMSource(&cfg, tc.src, tc.table)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				if cfg != core.EnhancedDMPConfig() {
+					t.Error("rejected flags mutated the config")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if cfg.CFMSource != tc.wantSrc || cfg.MergeTableSize != tc.wantTbl {
+				t.Errorf("got source %q table %d, want %q %d",
+					cfg.CFMSource, cfg.MergeTableSize, tc.wantSrc, tc.wantTbl)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("applied config fails Validate: %v", err)
+			}
+		})
+	}
+}
+
+// TestMergeStatsLine pins that the -merge-stats summary carries every
+// predictor counter.
+func TestMergeStatsLine(t *testing.T) {
+	s := &core.Stats{MergeHits: 1, MergeMisses: 2, MergeTrainings: 3,
+		MergeEvictions: 4, DynCFMEpisodes: 5, MergeMispredicts: 6}
+	line := mergeStatsLine(s)
+	for _, want := range []string{"1 hits", "2 misses", "3 trainings", "4 evictions", "5 learned-CFM", "6 merge mispredicts"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary missing %q: %s", want, line)
+		}
+	}
+}

@@ -16,7 +16,11 @@
 // oracle.go.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"dmp/internal/merge"
+)
 
 // Mode selects the machine organization being simulated.
 type Mode int
@@ -86,6 +90,20 @@ type Config struct {
 	EarlyExitDefault  int  // static threshold when annotation has none
 	MultipleDiverge   bool // 2.7.3: re-enter for a newer diverge branch
 	EnableLoopDiverge bool // 2.7.4: predicate marked loop branches too
+
+	// CFMSource selects where episode entry finds a branch's CFM points:
+	// "annotated" (default; the compiler annotations shipped with the
+	// program), "dynamic" (only the runtime merge-point predictor,
+	// internal/merge — annotations are ignored, so unannotated binaries
+	// can be predicated), or "hybrid" (the annotation wins when present,
+	// the predictor fills unannotated branches). The predictor is only
+	// consulted in ModeDMP: it cannot prove the simple-hammock shape DHP
+	// requires, so DHP always runs from annotations.
+	CFMSource string
+	// MergeTableSize overrides the merge predictor's reconvergence table
+	// capacity (0 = the internal/merge default). Only meaningful when
+	// CFMSource is "dynamic" or "hybrid".
+	MergeTableSize int
 
 	// SelectiveBPUpdate suppresses branch-predictor training for
 	// dynamically predicated branches (Section 2.7.4's update-policy
@@ -174,7 +192,15 @@ func DHPConfig() Config {
 //     Stats bit. Callers that want checked and unchecked runs kept apart
 //     (the experiment result cache does, so a cache hit always ran with
 //     the same checking the caller asked for) must carry it beside the
-//     canonical Config in their key.
+//     canonical Config in their key;
+//   - spells out the defaulted CFMSource ("" is "annotated") and folds
+//     the merge-predictor knobs for every mode but DMP (the predictor is
+//     only ever built there — DHP and dual-path run from annotations
+//     regardless of source, see Config.CFMSource). On DMP it folds
+//     MergeTableSize to zero for the annotated source (no predictor is
+//     built) and from zero to the internal/merge default capacity for
+//     dynamic/hybrid (so a defaulted and an explicitly default-sized
+//     predictor share one cache entry).
 //
 // ConfidenceName is deliberately NOT folded for any mode: every fetched
 // conditional branch consults the estimator and the LowConfCorrect /
@@ -185,6 +211,9 @@ func (c Config) Canonical() Config {
 	}
 	if c.ConfidenceName == "" {
 		c.ConfidenceName = "jrs"
+	}
+	if c.CFMSource == "" {
+		c.CFMSource = "annotated"
 	}
 	switch c.Mode {
 	case ModeBaseline, ModePerfect:
@@ -199,6 +228,14 @@ func (c Config) Canonical() Config {
 		if !c.EarlyExit {
 			c.EarlyExitDefault = 0
 		}
+	}
+	if c.Mode != ModeDMP {
+		c.CFMSource = "annotated"
+	}
+	if c.CFMSource == "annotated" {
+		c.MergeTableSize = 0
+	} else if c.MergeTableSize == 0 {
+		c.MergeTableSize = merge.DefaultConfig().TableSize
 	}
 	c.CheckRetirement = false
 	return c
@@ -231,6 +268,14 @@ func (c *Config) Validate() error {
 	case "", "jrs", "perfect", "always-low", "never-low":
 	default:
 		return fmt.Errorf("core: unknown confidence estimator %q", c.ConfidenceName)
+	}
+	switch c.CFMSource {
+	case "", "annotated", "dynamic", "hybrid":
+	default:
+		return fmt.Errorf("core: unknown CFM source %q (want annotated, dynamic or hybrid)", c.CFMSource)
+	}
+	if c.MergeTableSize < 0 {
+		return fmt.Errorf("core: MergeTableSize must be non-negative")
 	}
 	return nil
 }

@@ -100,3 +100,76 @@ func TestCanonicalIdempotent(t *testing.T) {
 		}
 	}
 }
+
+// TestCanonicalMergeKnobs pins the merge-predictor folding rules: the
+// knobs vanish wherever the predictor is never built, the defaulted and
+// explicit default table sizes share a key, and distinct table sizes
+// stay distinct (a cache hit across table sizes would be stale).
+func TestCanonicalMergeKnobs(t *testing.T) {
+	// Annotated source (spelled or defaulted) folds the table size away.
+	a := EnhancedDMPConfig()
+	b := EnhancedDMPConfig()
+	b.CFMSource = "annotated"
+	b.MergeTableSize = 256
+	if a.Canonical() != b.Canonical() {
+		t.Error("annotated-source MergeTableSize not folded")
+	}
+	// Non-DMP modes never build the predictor.
+	for _, mk := range []func() Config{DefaultConfig, DHPConfig} {
+		plain := mk()
+		knobbed := mk()
+		knobbed.CFMSource = "dynamic"
+		knobbed.MergeTableSize = 16
+		if plain.Canonical() != knobbed.Canonical() {
+			t.Errorf("merge knobs not folded for mode %v", plain.Mode)
+		}
+	}
+	// Dynamic source: defaulted size == explicit default size.
+	d1 := EnhancedDMPConfig()
+	d1.CFMSource = "dynamic"
+	d2 := d1
+	d2.MergeTableSize = d1.Canonical().MergeTableSize
+	if d1.Canonical() != d2.Canonical() {
+		t.Error("defaulted table size keys differently from the explicit default")
+	}
+	// ...but a different size is a different machine.
+	d3 := d1
+	d3.MergeTableSize = 16
+	if d1.Canonical() == d3.Canonical() {
+		t.Error("distinct table sizes canonicalize to the same key")
+	}
+	// And source changes on DMP are different machines.
+	h := d1
+	h.CFMSource = "hybrid"
+	if d1.Canonical() == h.Canonical() {
+		t.Error("dynamic and hybrid sources canonicalize to the same key")
+	}
+	for _, c := range []Config{d1, d3, h, b} {
+		once := c.Canonical()
+		if once != once.Canonical() {
+			t.Errorf("Canonical not idempotent for source %q", c.CFMSource)
+		}
+	}
+}
+
+// TestValidateCFMSource pins the accepted CFM sources.
+func TestValidateCFMSource(t *testing.T) {
+	for _, src := range []string{"", "annotated", "dynamic", "hybrid"} {
+		c := DMPConfig()
+		c.CFMSource = src
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%q) = %v", src, err)
+		}
+	}
+	c := DMPConfig()
+	c.CFMSource = "oracle"
+	if err := c.Validate(); err == nil {
+		t.Error("Validate accepted an unknown CFM source")
+	}
+	c = DMPConfig()
+	c.CFMSource = "dynamic"
+	c.MergeTableSize = -1
+	if err := c.Validate(); err == nil {
+		t.Error("Validate accepted a negative table size")
+	}
+}

@@ -97,6 +97,13 @@ type episode struct {
 	converted bool // reverted to a normal branch (early exit or MDB)
 	loop      bool
 
+	// dynCFM marks an episode whose CFM came from the runtime merge-point
+	// predictor (internal/merge) rather than a compiler annotation;
+	// cfmStore then backs the one-element cfms slice so the episode owns
+	// its CFM (the predictor's scratch annotation is reused per lookup).
+	dynCFM   bool
+	cfmStore [1]uint64
+
 	// dual-path only: per-stream fetch contexts live in the frontend.
 	dual bool
 }

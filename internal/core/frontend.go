@@ -302,8 +302,14 @@ func (m *Machine) maybeEnterDP(u *uop) bool {
 	default:
 		return false
 	}
-	d := m.prog.DivergeAt(u.pc)
-	if d == nil || !u.lowConf {
+	if !u.lowConf {
+		return false
+	}
+	d, dyn := m.divergeFor(u)
+	if d == nil || len(d.CFMs) == 0 {
+		// No CFM source for this branch — unannotated under the dynamic
+		// source with nothing learned yet, or a (malformed) annotation
+		// with an empty CFM list: fall back to normal branch prediction.
 		return false
 	}
 	if m.cfg.Mode == ModeDHP && d.Class != prog.ClassSimpleHammock {
@@ -326,8 +332,47 @@ func (m *Machine) maybeEnterDP(u *uop) bool {
 			return false
 		}
 	}
-	m.enterEpisode(u, d)
+	m.enterEpisode(u, d, dyn)
 	return true
+}
+
+// divergeFor returns the diverge annotation guiding dynamic-predication
+// entry at the fetched branch u, and whether it came from the runtime
+// merge-point predictor rather than the compiler. With no predictor
+// attached (annotated source, or any non-DMP mode) this is exactly the
+// static annotation. Under the dynamic source the annotation is ignored;
+// under hybrid it wins when present. A predictor hit is synthesized into
+// the machine's scratch Diverge — enterEpisode copies the CFM out, so
+// the scratch may be reused by the next lookup.
+func (m *Machine) divergeFor(u *uop) (d *prog.Diverge, dyn bool) {
+	d = m.prog.DivergeAt(u.pc)
+	if m.merge == nil {
+		return d, false
+	}
+	if m.cfg.CFMSource == "dynamic" {
+		d = nil
+	}
+	if d != nil {
+		return d, false // hybrid: the compiler annotation wins
+	}
+	pr, ok := m.merge.Lookup(u.pc)
+	if !ok {
+		m.Stats.MergeMisses++
+		return nil, false
+	}
+	m.Stats.MergeHits++
+	m.dynCFM[0] = pr.CFM
+	m.dynDiv = prog.Diverge{
+		CFMs: m.dynCFM[:1],
+		// The predictor knows reconvergence, not hammock shape, so the
+		// learned region is treated as a complex (frequently-hit-path)
+		// diverge; backward branches are flagged as loop diverges and
+		// filtered by EnableLoopDiverge like annotated ones.
+		Class:         prog.ClassComplexDiverge,
+		ExitThreshold: pr.ExitThreshold,
+		Loop:          u.inst.Target <= u.pc,
+	}
+	return &m.dynDiv, true
 }
 
 // liveEp returns the unresolved, un-dead episode if one exists. The
@@ -337,7 +382,7 @@ func (m *Machine) maybeEnterDP(u *uop) bool {
 // journal have a single owner).
 func (m *Machine) liveEp() *episode { return m.live }
 
-func (m *Machine) enterEpisode(u *uop, d *prog.Diverge) {
+func (m *Machine) enterEpisode(u *uop, d *prog.Diverge, dyn bool) {
 	cfms := d.CFMs
 	if !m.cfg.MultipleCFM {
 		cfms = cfms[:1]
@@ -356,6 +401,14 @@ func (m *Machine) enterEpisode(u *uop, d *prog.Diverge) {
 		predID1:        m.preds.alloc(),
 		exitThreshold:  thr,
 		loop:           d.Loop,
+		dynCFM:         dyn,
+	}
+	if dyn {
+		// d points at the machine's scratch Diverge: give the episode its
+		// own copy of the single learned CFM so the scratch can be reused.
+		ep.cfmStore[0] = cfms[0]
+		ep.cfms = ep.cfmStore[:1]
+		m.Stats.DynCFMEpisodes++
 	}
 	if u.predictedTaken {
 		ep.altStartPC = u.pc + 1
@@ -441,6 +494,11 @@ func (m *Machine) exitPredication(ep *episode) {
 // its predicate TRUE.
 func (m *Machine) earlyExit(ep *episode) {
 	m.Stats.EarlyExits++
+	if ep.dynCFM {
+		// The alternate path never reached the learned merge point within
+		// the exit threshold: the prediction was (likely) wrong.
+		m.Stats.MergeMispredicts++
+	}
 	ep.earlyExited = true
 	if m.probe != nil {
 		m.probeEpisode(EpEarlyExit, ep)

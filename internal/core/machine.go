@@ -9,6 +9,7 @@ import (
 	"dmp/internal/conf"
 	"dmp/internal/emu"
 	"dmp/internal/isa"
+	"dmp/internal/merge"
 	"dmp/internal/prog"
 )
 
@@ -66,6 +67,14 @@ type Machine struct {
 	live       *episode
 	episodes   map[int]*episode
 	episodeSeq int
+
+	// Merge-point predictor (nil unless Mode is DMP and CFMSource is
+	// dynamic or hybrid). dynDiv/dynCFM are the scratch annotation a
+	// predictor hit is synthesized into; it is only alive between
+	// divergeFor and enterEpisode, which copies the CFM into the episode.
+	merge  *merge.Predictor
+	dynDiv prog.Diverge
+	dynCFM [1]uint64
 
 	// Dual path.
 	streams      [2]streamCtx
@@ -169,6 +178,17 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 	if cfg.CheckRetirement {
 		m.checker = emu.New(p)
 	}
+	if cfg.Mode == ModeDMP && cfg.CFMSource != "" && cfg.CFMSource != "annotated" {
+		mc := merge.DefaultConfig()
+		if cfg.MergeTableSize > 0 {
+			mc.TableSize = cfg.MergeTableSize
+		}
+		mp, err := merge.New(mc)
+		if err != nil {
+			return nil, err
+		}
+		m.merge = mp
+	}
 	m.preds = newPredFile()
 	m.episodes = map[int]*episode{}
 	m.fetchPC = p.Entry
@@ -216,6 +236,11 @@ func (m *Machine) Run() (*Stats, error) {
 	m.Stats.FetchedUops = m.arena.allocated
 	m.Stats.WallSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- WallSeconds is excluded from golden tables
 	m.flushWPAll()
+	if m.merge != nil {
+		mc := m.merge.Counts()
+		m.Stats.MergeEvictions = mc.Evictions
+		m.Stats.MergeTrainings = mc.Trainings
+	}
 	if m.probe != nil {
 		m.probeDone()
 	}

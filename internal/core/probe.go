@@ -141,6 +141,9 @@ type EpisodeEvent struct {
 	AltFetched int      // alternate-path instructions fetched so far
 	Loop       bool
 	Dual       bool
+	// DynCFM marks an episode whose CFM point was supplied by the runtime
+	// merge-point predictor instead of a compiler annotation.
+	DynCFM bool
 }
 
 // OracleEvent reports the fetch oracle leaving (Resumed=false) or
@@ -252,6 +255,7 @@ func (m *Machine) probeEpisode(kind EpisodeKind, ep *episode) {
 		AltFetched: ep.altFetched,
 		Loop:       ep.loop,
 		Dual:       ep.dual,
+		DynCFM:     ep.dynCFM,
 	})
 }
 

@@ -101,6 +101,10 @@ func (m *Machine) retireOne(u *uop) {
 		m.oracle.trim(m.retired)
 	}
 
+	if m.merge != nil {
+		m.mergeObserve(u)
+	}
+
 	if u.inst.Op == isa.BR {
 		m.Stats.RetiredBranches++
 		if u.mispredicted {
@@ -122,6 +126,20 @@ func (m *Machine) retireOne(u *uop) {
 		m.Stats.HaltRetired = true
 		m.flushWPAll()
 	}
+}
+
+// mergeObserve feeds the retired predicate-TRUE instruction stream to the
+// merge-point predictor — the same architectural control flow the offline
+// profiler sees, so learned CFMs match what annotations would select.
+// Training is opened only for low-confidence or mispredicted branches:
+// those are the only entry candidates, and gating keeps the bounded table
+// from churning on well-predicted branches.
+func (m *Machine) mergeObserve(u *uop) {
+	train := false
+	if u.inst.Op == isa.BR {
+		train = u.lowConf || u.mispredicted
+	}
+	m.merge.Observe(u.pc, u.inst.Op, u.actualTaken, train)
 }
 
 // checkRetired steps the golden-model emulator and compares: the retired

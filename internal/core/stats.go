@@ -51,6 +51,20 @@ type Stats struct {
 	LowConfCorrect uint64
 	LowConfWrong   uint64
 
+	// Merge-point predictor (internal/merge; CFMSource dynamic/hybrid).
+	// Hits/Misses count fetch-side lookups for low-confidence branches
+	// with no usable annotation; Evictions/Trainings mirror the
+	// predictor's own counters at end of run. MergeMispredicts counts
+	// learned-CFM episodes abandoned by early exit (the alternate path
+	// never reached the predicted merge point); DynCFMEpisodes counts
+	// episodes entered from a predictor-supplied CFM.
+	MergeHits        uint64
+	MergeMisses      uint64
+	MergeEvictions   uint64
+	MergeTrainings   uint64
+	MergeMispredicts uint64
+	DynCFMEpisodes   uint64
+
 	// Memory system.
 	L1IMisses, L1DMisses, L2Misses uint64
 
@@ -110,6 +124,12 @@ func (s *Stats) Delta(prev *Stats) Stats {
 		Episodes:           s.Episodes - prev.Episodes,
 		LowConfCorrect:     s.LowConfCorrect - prev.LowConfCorrect,
 		LowConfWrong:       s.LowConfWrong - prev.LowConfWrong,
+		MergeHits:          s.MergeHits - prev.MergeHits,
+		MergeMisses:        s.MergeMisses - prev.MergeMisses,
+		MergeEvictions:     s.MergeEvictions - prev.MergeEvictions,
+		MergeTrainings:     s.MergeTrainings - prev.MergeTrainings,
+		MergeMispredicts:   s.MergeMispredicts - prev.MergeMispredicts,
+		DynCFMEpisodes:     s.DynCFMEpisodes - prev.DynCFMEpisodes,
 		L1IMisses:          s.L1IMisses - prev.L1IMisses,
 		L1DMisses:          s.L1DMisses - prev.L1DMisses,
 		L2Misses:           s.L2Misses - prev.L2Misses,

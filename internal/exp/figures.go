@@ -445,11 +445,12 @@ var All = map[string]func(Options) (*Table, error){
 	"fig13b":      Figure13b,
 	"dualpath":    DualPath,
 	"loopdiverge": LoopDiverge,
+	"mergepred":   MergePred,
 }
 
 // IDs returns the experiment ids in presentation order.
 func IDs() []string {
-	ids := []string{"table2", "table3", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "dualpath", "loopdiverge"}
+	ids := []string{"table2", "table3", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "dualpath", "loopdiverge", "mergepred"}
 	if len(ids) != len(All) {
 		keys := make([]string, 0, len(All))
 		//dmp:allow nondeterminism -- keys are sorted on the next line

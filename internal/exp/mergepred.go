@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+
+	"dmp/internal/core"
+)
+
+// mergePredConfig is the enhanced DMP machine with the given runtime CFM
+// source and merge-table capacity (0 = the internal/merge default).
+func mergePredConfig(src string, table int) core.Config {
+	c := core.EnhancedDMPConfig()
+	c.CFMSource = src
+	c.MergeTableSize = table
+	return c
+}
+
+// MergePred evaluates dynamic merge-point prediction: enhanced DMP
+// driven by compiler annotations vs. the runtime merge-point predictor
+// (internal/merge) vs. the hybrid of both, as % IPC improvement over the
+// baseline, with a per-benchmark recovery fraction (how much of the
+// annotated machine's gain the annotation-free machine keeps) and a
+// merge-table capacity sensitivity in the note. The dynamic and hybrid
+// legs run the same annotated program image the other experiments cache —
+// the dynamic source ignores annotations at runtime, so the run is
+// bit-identical to an annotation-free binary.
+func MergePred(o Options) (*Table, error) {
+	o = o.norm()
+	smallTable, bigTable := 16, 256
+	cfgs := []core.Config{
+		core.DefaultConfig(),
+		core.EnhancedDMPConfig(), // annotated source
+		mergePredConfig("dynamic", 0),
+		mergePredConfig("hybrid", 0),
+		mergePredConfig("dynamic", smallTable),
+		mergePredConfig("dynamic", bigTable),
+	}
+	all, err := runSuites(cfgs, o)
+	if err != nil {
+		return nil, err
+	}
+	base, ann, dyn, hyb, dynSmall, dynBig := all[0], all[1], all[2], all[3], all[4], all[5]
+
+	t := &Table{ID: "mergepred", Title: "Dynamic merge-point prediction: learned vs annotated CFM points",
+		Header: []string{"bench", "base-IPC", "annotated%", "dynamic%", "hybrid%", "recovered%", "dyn-episodes", "merge-misp"}}
+	var annI, dynI, hybI, smallI, bigI, recs []float64
+	for i, b := range o.Benchmarks {
+		ai := pctImp(ann[i], base[i])
+		di := pctImp(dyn[i], base[i])
+		hi := pctImp(hyb[i], base[i])
+		annI, dynI, hybI = append(annI, ai), append(dynI, di), append(hybI, hi)
+		smallI = append(smallI, pctImp(dynSmall[i], base[i]))
+		bigI = append(bigI, pctImp(dynBig[i], base[i]))
+		rec := "-"
+		if ai > 0.5 {
+			r := 100 * di / ai
+			recs = append(recs, r)
+			rec = f1(r)
+		}
+		t.AddRow(b, f3(base[i].IPC()), f1(ai), f1(di), f1(hi), rec,
+			d(dyn[i].DynCFMEpisodes), d(dyn[i].MergeMispredicts))
+	}
+	t.AddRow("amean", "", f1(amean(annI)), f1(amean(dynI)), f1(amean(hybI)),
+		f1(amean(recs)), "", "")
+	t.Note = fmt.Sprintf(
+		"recovered%% = dynamic gain as a fraction of annotated gain (benches with annotated gain > 0.5%%); "+
+			"table-size sensitivity, dynamic amean gain: %d-entry %.1f%%, default %.1f%%, %d-entry %.1f%%",
+		smallTable, amean(smallI), amean(dynI), bigTable, amean(bigI))
+	return t, nil
+}

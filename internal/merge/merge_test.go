@@ -1,0 +1,293 @@
+package merge
+
+import (
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+// testConfig is a small, fast table for unit tests.
+func testConfig() Config {
+	return Config{TableSize: 4, MaxDist: 32, MaxTrack: 16, MaxWindows: 4, ConfMax: 7, ConfMin: 2}
+}
+
+// ev is one retired instruction fed to the predictor.
+type ev struct {
+	pc    uint64
+	op    isa.Op
+	taken bool
+	train bool
+}
+
+func feed(p *Predictor, evs []ev) {
+	for _, e := range evs {
+		p.Observe(e.pc, e.op, e.taken, e.train)
+	}
+}
+
+// br emits a trainable conditional-branch retirement.
+func br(pc uint64, taken bool) ev { return ev{pc: pc, op: isa.BR, taken: taken, train: true} }
+
+// seq emits plain retirements for consecutive PCs [from, to).
+func seq(from, to uint64) []ev {
+	var evs []ev
+	for pc := from; pc < to; pc++ {
+		evs = append(evs, ev{pc: pc, op: isa.ADD})
+	}
+	return evs
+}
+
+// hammockInstance is one dynamic instance of a hammock branch at pc 10:
+// taken path 20..22, not-taken path 11..13, both joining at 30, then
+// straight-line code to 40.
+func hammockInstance(taken bool) []ev {
+	evs := []ev{br(10, taken)}
+	if taken {
+		evs = append(evs, seq(20, 23)...)
+	} else {
+		evs = append(evs, seq(11, 14)...)
+	}
+	return append(evs, seq(30, 40)...)
+}
+
+// TestHammockLearns pins the headline behavior: alternating taken and
+// not-taken instances of a hammock branch learn its join PC with
+// usable confidence within a handful of retires.
+func TestHammockLearns(t *testing.T) {
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	retires := 0
+	for i := 0; i < 8; i++ {
+		inst := hammockInstance(i%2 == 0)
+		feed(p, inst)
+		retires += len(inst)
+	}
+	pr, ok := p.Lookup(10)
+	if !ok {
+		t.Fatalf("no prediction for hammock branch after %d retires; counts %+v", retires, p.Counts())
+	}
+	if pr.CFM != 30 {
+		t.Errorf("learned CFM = %d, want 30 (the join)", pr.CFM)
+	}
+	if pr.Conf < testConfig().ConfMin {
+		t.Errorf("confidence %d below ConfMin", pr.Conf)
+	}
+	// Distance to the join is 4 on both paths; the threshold rule is
+	// dist + dist/2 + 8.
+	if pr.ExitThreshold < 4 || pr.ExitThreshold > testConfig().MaxDist {
+		t.Errorf("implausible exit threshold %d", pr.ExitThreshold)
+	}
+	if retires > 120 {
+		t.Errorf("took %d retires to converge; want a small training budget", retires)
+	}
+}
+
+// TestBiasedBranchDoesNotPredict pins that a branch observed in only one
+// direction never proposes a merge point: there is no both-paths
+// evidence (the offline selector has the same rule).
+func TestBiasedBranchDoesNotPredict(t *testing.T) {
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		feed(p, hammockInstance(true))
+	}
+	if pr, ok := p.Lookup(10); ok {
+		t.Errorf("one-directional branch predicted CFM %d; want no prediction", pr.CFM)
+	}
+}
+
+// TestCallFiltering pins the call-depth rule from both sides: a PC
+// inside a callee shared by both paths must not become the merge point,
+// and a branch whose paths leave the function (both paths RET) must not
+// learn a merge PC in the caller's frame.
+func TestCallFiltering(t *testing.T) {
+	t.Run("callee-body-excluded", func(t *testing.T) {
+		p, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both paths call the same helper (body at 100..102, RET at 102)
+		// before reconverging at 30. The helper body PCs appear on both
+		// paths but at depth+1; the learned CFM must be the real join.
+		inst := func(taken bool) []ev {
+			evs := []ev{br(10, taken)}
+			if taken {
+				evs = append(evs, ev{pc: 20, op: isa.CALL})
+			} else {
+				evs = append(evs, ev{pc: 11, op: isa.CALL})
+			}
+			evs = append(evs, seq(100, 102)...)
+			evs = append(evs, ev{pc: 102, op: isa.RET})
+			return append(evs, seq(30, 40)...)
+		}
+		for i := 0; i < 8; i++ {
+			feed(p, inst(i%2 == 0))
+		}
+		pr, ok := p.Lookup(10)
+		if !ok {
+			t.Fatal("no prediction learned")
+		}
+		if pr.CFM >= 100 && pr.CFM <= 102 {
+			t.Errorf("learned CFM %d sits inside the callee", pr.CFM)
+		}
+		if pr.CFM != 30 {
+			t.Errorf("learned CFM = %d, want 30", pr.CFM)
+		}
+	})
+
+	t.Run("caller-frame-excluded", func(t *testing.T) {
+		p, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The function is entered by CALL at 5; the branch's two paths
+		// both RET, so the only "common" PCs are in the caller (50..)
+		// one frame up. No merge point may be proposed.
+		inst := func(taken bool) []ev {
+			evs := []ev{{pc: 5, op: isa.CALL}}
+			evs = append(evs, br(10, taken))
+			if taken {
+				evs = append(evs, ev{pc: 20, op: isa.ADD}, ev{pc: 21, op: isa.RET})
+			} else {
+				evs = append(evs, ev{pc: 11, op: isa.ADD}, ev{pc: 12, op: isa.RET})
+			}
+			return append(evs, seq(50, 60)...)
+		}
+		for i := 0; i < 12; i++ {
+			feed(p, inst(i%2 == 0))
+		}
+		if pr, ok := p.Lookup(10); ok {
+			t.Errorf("learned CFM %d across a RET; merge points must stay in the branch's function", pr.CFM)
+		}
+	})
+}
+
+// TestCapacityEvictionKeepsHotBranches pins LRU behavior: with a 3-entry
+// table, two hot hammocks, and a stream of cold one-shot branches, the
+// hot branches keep their predictions while the cold ones evict each
+// other out of the spare slot.
+func TestCapacityEvictionKeepsHotBranches(t *testing.T) {
+	cfg := testConfig()
+	cfg.TableSize = 3
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := func(base uint64, taken bool) []ev {
+		evs := []ev{br(base, taken)}
+		if taken {
+			evs = append(evs, seq(base+10, base+12)...)
+		} else {
+			evs = append(evs, seq(base+1, base+3)...)
+		}
+		return append(evs, seq(base+20, base+26)...)
+	}
+	for i := 0; i < 12; i++ {
+		feed(p, hot(100, i%2 == 0))
+		feed(p, hot(200, i%2 == 1))
+	}
+	if _, ok := p.Lookup(100); !ok {
+		t.Fatal("hot branch 100 did not learn before eviction pressure")
+	}
+	// A cold branch allocates by evicting the LRU entry; touching the
+	// hot branches between cold allocations keeps them most recent, so
+	// the cold entries must evict each other.
+	for i := 0; i < 6; i++ {
+		feed(p, []ev{br(1000+uint64(i)*100, true)})
+		feed(p, hot(100, i%2 == 0))
+		feed(p, hot(200, i%2 == 1))
+	}
+	if p.Counts().Evictions == 0 {
+		t.Fatal("capacity test produced no evictions")
+	}
+	if _, ok := p.Lookup(100); !ok {
+		t.Error("hot branch 100 lost its entry to cold branches")
+	}
+	if _, ok := p.Lookup(200); !ok {
+		t.Error("hot branch 200 lost its entry to cold branches")
+	}
+	if p.Entries() > cfg.TableSize {
+		t.Errorf("table holds %d entries, cap %d", p.Entries(), cfg.TableSize)
+	}
+}
+
+// TestUntrackedBranchesDoNotAllocate pins the train gate: a retired
+// branch with train=false never allocates a table entry.
+func TestUntrackedBranchesDoNotAllocate(t *testing.T) {
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		feed(p, []ev{{pc: 10, op: isa.BR, taken: i%2 == 0, train: false}})
+		feed(p, seq(11, 20))
+	}
+	if p.Entries() != 0 {
+		t.Errorf("untracked branch allocated %d entries", p.Entries())
+	}
+	if _, ok := p.Lookup(10); ok {
+		t.Error("untracked branch produced a prediction")
+	}
+}
+
+// TestDeterminism pins that two predictors fed the identical retire
+// stream agree on every prediction and counter.
+func TestDeterminism(t *testing.T) {
+	var stream []ev
+	for i := 0; i < 40; i++ {
+		stream = append(stream, hammockInstance(i%3 != 0)...)
+		stream = append(stream, br(500+uint64(i%5)*7, i%2 == 0))
+		stream = append(stream, seq(600, 610)...)
+		if i%4 == 0 {
+			stream = append(stream, ev{pc: 700, op: isa.CALL})
+			stream = append(stream, seq(800, 805)...)
+			stream = append(stream, ev{pc: 805, op: isa.RET})
+		}
+	}
+	a, _ := New(testConfig())
+	b, _ := New(testConfig())
+	feed(a, stream)
+	feed(b, stream)
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+	for pc := uint64(0); pc < 1000; pc++ {
+		pa, oka := a.Lookup(pc)
+		pb, okb := b.Lookup(pc)
+		if oka != okb || pa != pb {
+			t.Fatalf("pc %d: %v/%v vs %v/%v", pc, pa, oka, pb, okb)
+		}
+	}
+}
+
+// TestValidate pins the config error cases.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mut    func(*Config)
+		wantOK bool
+	}{
+		{"default", func(*Config) {}, true},
+		{"zero-table", func(c *Config) { c.TableSize = 0 }, false},
+		{"track-gt-dist", func(c *Config) { c.MaxTrack = c.MaxDist + 1 }, false},
+		{"no-windows", func(c *Config) { c.MaxWindows = 0 }, false},
+		{"confmin-gt-max", func(c *Config) { c.ConfMin = c.ConfMax + 1 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if (err == nil) != tc.wantOK {
+				t.Errorf("Validate() = %v, want ok=%v", err, tc.wantOK)
+			}
+			if _, err := New(cfg); (err == nil) != tc.wantOK {
+				t.Errorf("New() error = %v, want ok=%v", err, tc.wantOK)
+			}
+		})
+	}
+}

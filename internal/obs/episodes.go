@@ -41,18 +41,18 @@ func (l *EpisodeLog) record(ev core.EpisodeEvent) {
 		if int(ev.Case) >= 0 && int(ev.Case) < len(l.cases) {
 			l.cases[ev.Case]++
 		}
-		fmt.Fprintf(l.w, "{\"cycle\":%d,\"ep\":%d,\"event\":%q,\"case\":%d,\"caseName\":%q,\"pc\":%d,\"cfm\":%d,\"alt\":%d,\"loop\":%t,\"dual\":%t}\n",
+		fmt.Fprintf(l.w, "{\"cycle\":%d,\"ep\":%d,\"event\":%q,\"case\":%d,\"caseName\":%q,\"pc\":%d,\"cfm\":%d,\"alt\":%d,\"loop\":%t,\"dual\":%t,\"dyn\":%t}\n",
 			ev.Cycle, ev.ID, ev.Kind.String(), int(ev.Case), ev.Case.String(),
-			ev.DivergePC, ev.CFM, ev.AltFetched, ev.Loop, ev.Dual)
+			ev.DivergePC, ev.CFM, ev.AltFetched, ev.Loop, ev.Dual, ev.DynCFM)
 	case core.EpSquash:
 		l.cases[0]++
-		fmt.Fprintf(l.w, "{\"cycle\":%d,\"ep\":%d,\"event\":%q,\"case\":0,\"caseName\":\"squashed\",\"pc\":%d,\"cfm\":%d,\"alt\":%d,\"loop\":%t,\"dual\":%t}\n",
+		fmt.Fprintf(l.w, "{\"cycle\":%d,\"ep\":%d,\"event\":%q,\"case\":0,\"caseName\":\"squashed\",\"pc\":%d,\"cfm\":%d,\"alt\":%d,\"loop\":%t,\"dual\":%t,\"dyn\":%t}\n",
 			ev.Cycle, ev.ID, ev.Kind.String(),
-			ev.DivergePC, ev.CFM, ev.AltFetched, ev.Loop, ev.Dual)
+			ev.DivergePC, ev.CFM, ev.AltFetched, ev.Loop, ev.Dual, ev.DynCFM)
 	default:
-		fmt.Fprintf(l.w, "{\"cycle\":%d,\"ep\":%d,\"event\":%q,\"pc\":%d,\"cfm\":%d,\"alt\":%d,\"loop\":%t,\"dual\":%t}\n",
+		fmt.Fprintf(l.w, "{\"cycle\":%d,\"ep\":%d,\"event\":%q,\"pc\":%d,\"cfm\":%d,\"alt\":%d,\"loop\":%t,\"dual\":%t,\"dyn\":%t}\n",
 			ev.Cycle, ev.ID, ev.Kind.String(),
-			ev.DivergePC, ev.CFM, ev.AltFetched, ev.Loop, ev.Dual)
+			ev.DivergePC, ev.CFM, ev.AltFetched, ev.Loop, ev.Dual, ev.DynCFM)
 	}
 }
 
