@@ -7,8 +7,17 @@
 //	dmpexp -bench mcf,twolf fig8 # restrict the suite
 //
 // Experiment ids: table2 table3 fig1 fig6 fig7 fig8 fig9 fig10 fig11
-// fig12 fig13a fig13b dualpath loopdiverge mergepred (the authoritative
-// list is exp.IDs(), which the usage error prints).
+// fig12 fig13a fig13b dualpath loopdiverge mergepred sampling (the
+// authoritative list is exp.IDs(), which the usage error prints).
+//
+// The sampling experiment validates sampled simulation against exact
+// golden runs. -sample-json writes its machine-readable report (per-bench
+// IPC error, CI coverage, host speedup) to a file; -sample-gate N makes
+// the process fail unless every benchmark's |IPC error| is at most N
+// percent and its 95% confidence interval covers the exact IPC — the CI
+// accuracy gate. -sample-period/-sample-interval/-sample-warmup override
+// the sampling parameters (0 = defaults). All four require the sampling
+// experiment to be among the requested ids.
 //
 // All requested experiments generate concurrently: the process-wide
 // result cache in internal/exp simulates each unique (benchmark, config,
@@ -20,9 +29,11 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
@@ -49,6 +60,12 @@ func main() {
 		nocheck = flag.Bool("nocheck", false, "disable the golden-model checker (faster)")
 		par     = flag.Int("parallel", 0, "simulation worker cap, shared by all experiments (default NumCPU)")
 		doLint  = flag.Bool("lint", false, "lint every benchmark program and annotation set before running")
+
+		sampleJSON = flag.String("sample-json", "", "write the sampling experiment's report (JSON) to this file")
+		sampleGate = flag.Float64("sample-gate", 0, "fail unless every sampled benchmark has |IPC err%| <= this and CI coverage (0 = off)")
+		samplePer  = flag.Uint64("sample-period", 0, "sampling experiment: instructions per period (0 = default)")
+		sampleIvl  = flag.Uint64("sample-interval", 0, "sampling experiment: retired instructions per detailed interval (0 = default)")
+		sampleWarm = flag.Uint64("sample-warmup", 0, "sampling experiment: extra per-interval warmup instructions")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a host heap profile to this file at exit")
@@ -77,6 +94,9 @@ func main() {
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
+	opts.SamplePeriod = *samplePer
+	opts.SampleInterval = *sampleIvl
+	opts.SampleWarmup = *sampleWarm
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -91,6 +111,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dmpexp: unknown experiment %q (known: %s)\n", id, strings.Join(exp.IDs(), " "))
 			exit(2)
 		}
+	}
+	wantSampling := false
+	for _, id := range ids {
+		wantSampling = wantSampling || id == "sampling"
+	}
+	if !wantSampling && (*sampleJSON != "" || *sampleGate != 0 || *samplePer != 0 || *sampleIvl != 0 || *sampleWarm != 0) {
+		fmt.Fprintln(os.Stderr, "dmpexp: -sample-* flags need the sampling experiment among the requested ids")
+		exit(2)
 	}
 
 	// Pre-flight lint gate: every benchmark's annotated program (both
@@ -133,13 +161,22 @@ func main() {
 	}
 	results := make([]*result, len(ids))
 	start := time.Now()
+	// The sampling experiment runs through SamplingReport when a -sample-*
+	// flag needs the machine-readable report; the channel close publishes
+	// sampleRep to the presentation loop below.
+	var sampleRep *exp.SampleReport
+	needRep := *sampleJSON != "" || *sampleGate != 0
 	for i, id := range ids {
 		r := &result{done: make(chan struct{})}
 		results[i] = r
 		go func(id string, r *result) {
 			defer close(r.done)
 			t0 := time.Now()
-			r.table, r.err = exp.All[id](opts)
+			if id == "sampling" && needRep {
+				r.table, sampleRep, r.err = exp.SamplingReport(opts)
+			} else {
+				r.table, r.err = exp.All[id](opts)
+			}
 			r.elapsed = time.Since(t0)
 		}(id, r)
 	}
@@ -164,8 +201,55 @@ func main() {
 	hits, misses := exp.SimCounts()
 	fmt.Fprintf(os.Stderr, "total %.1fs; result cache: %d simulations, %d reused\n",
 		time.Since(start).Seconds(), misses, hits)
+	if sampleRep != nil {
+		if *sampleJSON != "" {
+			if err := writeSampleJSON(*sampleJSON, sampleRep); err != nil {
+				fmt.Fprintf(os.Stderr, "dmpexp: %v\n", err)
+				failed = append(failed, err)
+			}
+		}
+		if *sampleGate != 0 {
+			if err := checkSampleGate(sampleRep, *sampleGate); err != nil {
+				fmt.Fprintf(os.Stderr, "dmpexp: sample gate: %v\n", err)
+				failed = append(failed, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "dmpexp: sample gate: every benchmark within %.2f%% with CI coverage\n", *sampleGate)
+			}
+		}
+	}
 	if err := errors.Join(failed...); err != nil {
 		exit(1)
 	}
 	exit(0)
+}
+
+// writeSampleJSON records the sampling report (BENCH_sample.json).
+func writeSampleJSON(path string, rep *exp.SampleReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// checkSampleGate is the CI accuracy gate: every benchmark must land
+// within gatePct of its exact IPC, its 95% confidence interval must cover
+// the exact value, and it must have at least two measured intervals (one
+// interval has no spread estimate, so coverage would be vacuous).
+func checkSampleGate(rep *exp.SampleReport, gatePct float64) error {
+	var bad []string
+	for _, b := range rep.Benches {
+		switch {
+		case math.Abs(b.ErrPct) > gatePct:
+			bad = append(bad, fmt.Sprintf("%s: |err| %.2f%% > %.2f%%", b.Bench, math.Abs(b.ErrPct), gatePct))
+		case !b.Covered:
+			bad = append(bad, fmt.Sprintf("%s: 95%% CI misses the exact IPC", b.Bench))
+		case b.K < 2:
+			bad = append(bad, fmt.Sprintf("%s: only %d measured interval(s)", b.Bench, b.K))
+		}
+	}
+	if len(bad) > 0 {
+		return errors.New(strings.Join(bad, "; "))
+	}
+	return nil
 }

@@ -4,13 +4,18 @@
 //
 //	dmpobs -events mcf.events.jsonl   # episode timeline summary
 //	dmpobs -validate mcf.trace.json   # check a Chrome trace parses
+//	dmpobs -manifest mcf.sample.json  # validate a sampled run's manifest
 //
 // -events reads an episode timeline (dmpsim -events) and prints
 // per-event totals, the Table-1 exit-case breakdown, mean alternate-path
 // fetch length, mean enter-to-resolve episode duration, and the fetch
 // oracle's pause/resume counts. -validate parses a Chrome trace_event
 // file (dmpsim -pipetrace foo.json) and reports the event count,
-// exiting nonzero if the JSON is malformed.
+// exiting nonzero if the JSON is malformed. -manifest checks a sampled
+// run's interval manifest (dmpsim -sample-manifest) for internal
+// consistency — interval count, detailed-instruction accounting,
+// per-interval IPC arithmetic, monotonic interval placement — and prints
+// a summary, exiting nonzero on any violation.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"dmp/internal/sample"
 )
 
 // epLine mirrors the JSONL keys internal/obs.EpisodeLog writes. Oracle
@@ -43,16 +50,23 @@ func main() {
 	var (
 		events   = flag.String("events", "", "summarize this episode timeline (JSONL from dmpsim -events)")
 		validate = flag.String("validate", "", "parse this Chrome trace JSON (from dmpsim -pipetrace x.json) and report its event count")
+		manifest = flag.String("manifest", "", "validate this sampled-run interval manifest (from dmpsim -sample-manifest)")
 	)
 	flag.Parse()
 
-	if *events == "" && *validate == "" {
-		fmt.Fprintln(os.Stderr, "dmpobs: need -events or -validate (see -help)")
+	if *events == "" && *validate == "" && *manifest == "" {
+		fmt.Fprintln(os.Stderr, "dmpobs: need -events, -validate or -manifest (see -help)")
 		os.Exit(2)
 	}
 	if *validate != "" {
 		if err := validateTrace(*validate); err != nil {
 			fmt.Fprintf(os.Stderr, "dmpobs: %s: %v\n", *validate, err)
+			os.Exit(1)
+		}
+	}
+	if *manifest != "" {
+		if err := validateManifest(*manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpobs: %s: %v\n", *manifest, err)
 			os.Exit(1)
 		}
 	}
@@ -62,6 +76,75 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// validateManifest checks a sampled run's interval accounting. It reads
+// the manifest alone — no re-simulation — and verifies the invariants
+// internal/sample promises: the interval list matches k, the detailed
+// instruction and cycle sums decompose into prefix plus intervals, every
+// interval's IPC is its own retired/cycles, and intervals appear in
+// program order. checkManifest is split out so the contract is testable.
+func validateManifest(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var m sample.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("invalid manifest JSON: %w", err)
+	}
+	if err := checkManifest(&m); err != nil {
+		return err
+	}
+	detPct := 100 * float64(m.DetRetired) / float64(m.TotalInsts)
+	fmt.Printf("%s: consistent sampled-run manifest\n", path)
+	fmt.Printf("  %d insts: prefix %d exact, %d intervals of ~%d (detailed %.1f%%), period %d\n",
+		m.TotalInsts, m.PrefRetired, m.K, m.IntervalLen, detPct, m.Period)
+	fmt.Printf("  IPC estimate %.3f ± %.3f (95%% CI; interval mean %.3f)\n", m.IPC, m.CI95, m.IPCMean)
+	return nil
+}
+
+func checkManifest(m *sample.Manifest) error {
+	if m.K != len(m.Intervals) {
+		return fmt.Errorf("k = %d but %d intervals listed", m.K, len(m.Intervals))
+	}
+	if m.K == 0 {
+		return fmt.Errorf("manifest has no intervals")
+	}
+	var sumR, sumC uint64
+	var prev uint64
+	for i, iv := range m.Intervals {
+		if iv.Index != i {
+			return fmt.Errorf("interval %d: index %d out of order", i, iv.Index)
+		}
+		if iv.Start < prev {
+			return fmt.Errorf("interval %d: start %d before previous interval at %d", i, iv.Start, prev)
+		}
+		prev = iv.Start
+		if iv.Retired == 0 || iv.Cycles == 0 {
+			return fmt.Errorf("interval %d: empty measurement (%d retired, %d cycles)", i, iv.Retired, iv.Cycles)
+		}
+		if want := float64(iv.Retired) / float64(iv.Cycles); iv.IPC != want {
+			return fmt.Errorf("interval %d: ipc %g but retired/cycles = %g", i, iv.IPC, want)
+		}
+		sumR += iv.Retired
+		sumC += iv.Cycles
+	}
+	if got := m.PrefRetired + sumR; got != m.DetRetired {
+		return fmt.Errorf("detailed_retired %d but prefix %d + interval sum %d = %d",
+			m.DetRetired, m.PrefRetired, sumR, got)
+	}
+	if got := m.PrefCycles + sumC; got != m.DetCycles {
+		return fmt.Errorf("detailed_cycles %d but prefix %d + interval sum %d = %d",
+			m.DetCycles, m.PrefCycles, sumC, got)
+	}
+	if m.DetRetired > m.TotalInsts {
+		return fmt.Errorf("detailed_retired %d exceeds total_insts %d", m.DetRetired, m.TotalInsts)
+	}
+	if m.IPC <= 0 || m.CI95 < 0 {
+		return fmt.Errorf("implausible estimate: ipc %g, ci95 %g", m.IPC, m.CI95)
+	}
+	return nil
 }
 
 // validateTrace unmarshals the whole trace as a JSON array and spot

@@ -6,6 +6,7 @@
 //	dmpsim -bench mcf -mode dmp -scale 3
 //	dmpsim -asm prog.s -mode baseline
 //	dmpsim -bench parser -mode dmp -conf perfect -mcfm -eexit -mdb
+//	dmpsim -bench mcf -mode enhanced -sample -sample-manifest mcf.json
 //
 // Modes: baseline, perfect, dmp, dhp, dualpath, enhanced (= dmp with all
 // Section 2.7 enhancements).
@@ -16,6 +17,14 @@
 // first, predictor for unannotated branches). -merge-table sizes the
 // predictor's reconvergence table; -merge-stats appends a predictor
 // summary line to the output.
+//
+// Sampled simulation (see internal/sample): -sample switches the run to
+// SMARTS-style sampling — an exactly measured cold-start prefix, one
+// continuous functional-warming pass, and short detailed intervals whose
+// measurements extrapolate the full run with a 95% confidence interval.
+// -sample-period/-sample-interval/-sample-warmup override the default
+// parameters (and require -sample); -sample-manifest records the
+// per-interval accounting as JSON for dmpobs -manifest to validate.
 //
 // Observability (see internal/obs): -pipetrace writes a per-uop
 // pipeline trace (Chrome trace_event JSON for Perfetto when the file
@@ -34,11 +43,13 @@ import (
 	"time"
 
 	"dmp/internal/core"
+	"dmp/internal/emu"
 	"dmp/internal/exp"
 	"dmp/internal/lint"
 	"dmp/internal/obs"
 	"dmp/internal/profile"
 	"dmp/internal/prog"
+	"dmp/internal/sample"
 	"dmp/internal/workload"
 )
 
@@ -61,8 +72,15 @@ func main() {
 		mergeTbl = flag.Int("merge-table", 0, "merge-point predictor table entries (0 = default; needs -cfm-source dynamic|hybrid)")
 		mergeSt  = flag.Bool("merge-stats", false, "print a merge-point predictor summary line")
 		nocheck  = flag.Bool("nocheck", false, "disable the golden-model retirement checker")
-		doLint   = flag.Bool("lint", false, "statically check the program and annotations, print findings, and exit")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
+
+		doSample    = flag.Bool("sample", false, "sampled simulation: fast-forward + warmed detailed intervals instead of an exact run")
+		samplePer   = flag.Uint64("sample-period", 0, "instructions per sampling period (0 = default; needs -sample)")
+		sampleIvl   = flag.Uint64("sample-interval", 0, "retired instructions measured per detailed interval (0 = default; needs -sample)")
+		sampleWarm  = flag.Uint64("sample-warmup", 0, "extra per-interval functional warmup instructions (needs -sample)")
+		sampleManif = flag.String("sample-manifest", "", "write the sampled run's interval manifest (JSON) to this file (needs -sample)")
+
+		doLint = flag.Bool("lint", false, "statically check the program and annotations, print findings, and exit")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
 
 		pipetrace   = flag.String("pipetrace", "", "write a per-uop pipetrace to this file (.json = Chrome trace for Perfetto, else text)")
 		events      = flag.String("events", "", "write the dynamic-predication episode timeline (JSONL) to this file")
@@ -119,6 +137,9 @@ func main() {
 	if err := setCFMSource(&cfg, *cfmSrc, *mergeTbl); err != nil {
 		fatal("%v", err)
 	}
+	if err := setSampling(&cfg, *doSample, *samplePer, *sampleIvl, *sampleWarm, *sampleManif); err != nil {
+		fatal("%v", err)
+	}
 
 	var p *prog.Program
 	switch {
@@ -163,6 +184,38 @@ func main() {
 	stopProfiles, err := obs.StartHostProfiles(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
 		fatal("profiling: %v", err)
+	}
+
+	if *doSample {
+		if *pipetrace != "" || *events != "" || *interval != 0 {
+			fatal("-pipetrace/-events/-interval trace exact runs; they are not available with -sample")
+		}
+		r, err := sample.Run(p, cfg, sample.Options{})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *sampleManif != "" {
+			f, err := os.Create(*sampleManif)
+			if err != nil {
+				fatal("%v", err)
+			}
+			if err := r.WriteManifest(f); err != nil {
+				fatal("manifest: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatal("manifest: %v", err)
+			}
+		}
+		printSampled(r)
+		printStats(r.Extrapolated)
+		if *mergeSt {
+			fmt.Print(mergeStatsLine(r.Extrapolated))
+		}
+		printHostThroughput(p, cfg.MaxInsts, float64(r.TotalInsts)/r.WallSeconds)
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpsim: profiling: %v\n", err)
+		}
+		return
 	}
 
 	var probes []*core.Probe
@@ -234,6 +287,70 @@ func main() {
 	if *mergeSt {
 		fmt.Print(mergeStatsLine(st))
 	}
+	if st.WallSeconds > 0 {
+		printHostThroughput(p, cfg.MaxInsts, float64(st.RetiredInsts)/st.WallSeconds)
+	}
+}
+
+// setSampling validates and applies the -sample* flags. Split out of
+// main so the flag-rejection contract is testable.
+func setSampling(cfg *core.Config, on bool, period, interval, warmup uint64, manifest string) error {
+	if !on {
+		if period != 0 || interval != 0 || warmup != 0 || manifest != "" {
+			return fmt.Errorf("-sample-period, -sample-interval, -sample-warmup and -sample-manifest need -sample")
+		}
+		return nil
+	}
+	if interval != 0 && period != 0 && interval >= period {
+		return fmt.Errorf("-sample-interval %d must be smaller than -sample-period %d", interval, period)
+	}
+	cfg.SampleMode = true
+	cfg.SamplePeriod = period
+	cfg.SampleInterval = interval
+	cfg.SampleWarmup = warmup
+	return nil
+}
+
+// printSampled renders the sampling-specific summary: what was measured,
+// what was extrapolated, and how tight the estimate is.
+func printSampled(r *sample.Result) {
+	fmt.Printf("sampled run       %12d insts: prefix %d exact, %d intervals of ~%d (detailed %.1f%%), period %d, warmup %d, ramp %d\n",
+		r.TotalInsts, r.PrefixRetired, r.K, r.IntervalLen,
+		100*float64(r.DetailedRetired)/float64(r.TotalInsts), r.Period, r.Warmup, r.Ramp)
+	fmt.Printf("IPC estimate      %12.3f ± %.3f (95%% CI over %d intervals; interval mean %.3f)\n",
+		r.IPC, r.CI95, r.K, r.IPCMean)
+}
+
+// printHostThroughput reports how fast the simulation ran relative to the
+// pure functional emulator over the same program — the fast-forward
+// ceiling any sampled run approaches as its detailed fraction shrinks.
+func printHostThroughput(p *prog.Program, maxInsts uint64, simRate float64) {
+	emuRate, err := emuOnlyRate(p, maxInsts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmpsim: emu-only timing: %v\n", err)
+		return
+	}
+	slow := "n/a"
+	if simRate > 0 && emuRate > 0 {
+		slow = fmt.Sprintf("%.1fx", emuRate/simRate)
+	}
+	fmt.Printf("host throughput   %12.0f simulated uops/s vs %.0f emu-only (slowdown %s)\n",
+		simRate, emuRate, slow)
+}
+
+// emuOnlyRate times one pure functional emulation of p and returns
+// architectural instructions per host second.
+func emuOnlyRate(p *prog.Program, maxInsts uint64) (float64, error) {
+	e := emu.New(p)
+	t0 := time.Now()
+	if _, err := e.Run(maxInsts); err != nil {
+		return 0, err
+	}
+	el := time.Since(t0).Seconds()
+	if el <= 0 {
+		return 0, nil
+	}
+	return float64(e.Count) / el, nil
 }
 
 // setCFMSource validates and applies the -cfm-source / -merge-table

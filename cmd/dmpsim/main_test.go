@@ -68,3 +68,53 @@ func TestMergeStatsLine(t *testing.T) {
 		}
 	}
 }
+
+// TestSetSampling pins the -sample* flag contract: the knobs and the
+// manifest path are usage errors without -sample, the interval must fit
+// inside the period, and valid flags land on the config.
+func TestSetSampling(t *testing.T) {
+	cases := []struct {
+		name                     string
+		on                       bool
+		period, interval, warmup uint64
+		manifest                 string
+		wantErr                  string
+	}{
+		{name: "off-default", on: false},
+		{name: "on-default", on: true},
+		{name: "on-custom", on: true, period: 4000, interval: 500, warmup: 100},
+		{name: "period-without-sample", period: 4000, wantErr: "need -sample"},
+		{name: "interval-without-sample", interval: 500, wantErr: "need -sample"},
+		{name: "warmup-without-sample", warmup: 10, wantErr: "need -sample"},
+		{name: "manifest-without-sample", manifest: "m.json", wantErr: "need -sample"},
+		{name: "interval-ge-period", on: true, period: 500, interval: 500, wantErr: "must be smaller"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := core.EnhancedDMPConfig()
+			err := setSampling(&cfg, tc.on, tc.period, tc.interval, tc.warmup, tc.manifest)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				if cfg != core.EnhancedDMPConfig() {
+					t.Error("rejected flags mutated the config")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if cfg.SampleMode != tc.on {
+				t.Errorf("SampleMode = %v, want %v", cfg.SampleMode, tc.on)
+			}
+			if cfg.SamplePeriod != tc.period || cfg.SampleInterval != tc.interval || cfg.SampleWarmup != tc.warmup {
+				t.Errorf("got %d/%d/%d, want %d/%d/%d", cfg.SamplePeriod,
+					cfg.SampleInterval, cfg.SampleWarmup, tc.period, tc.interval, tc.warmup)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("applied config fails Validate: %v", err)
+			}
+		})
+	}
+}

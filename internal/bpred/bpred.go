@@ -143,6 +143,15 @@ func (p *Perceptron) Update(pc uint64, hist GHR, taken bool) {
 func (p *Perceptron) HistoryBits() int { return p.hbits }
 func (p *Perceptron) Name() string     { return "perceptron" }
 
+// Clone deep-copies the predictor's trained weights.
+func (p *Perceptron) Clone() *Perceptron {
+	w := make([][]int16, len(p.weights))
+	for i := range w {
+		w[i] = append([]int16(nil), p.weights[i]...)
+	}
+	return &Perceptron{weights: w, hbits: p.hbits, theta: p.theta}
+}
+
 // satAdd adds with saturation at int8 range; 8-bit weights are the
 // standard hardware budget.
 func satAdd(a, b int16) int16 {
@@ -215,6 +224,11 @@ func (g *GShare) Update(pc uint64, hist GHR, taken bool) {
 func (g *GShare) HistoryBits() int { return g.hbits }
 func (g *GShare) Name() string     { return "gshare" }
 
+// Clone deep-copies the counter table.
+func (g *GShare) Clone() *GShare {
+	return &GShare{table: append([]counter(nil), g.table...), hbits: g.hbits, mask: g.mask}
+}
+
 // --- Bimodal ---
 
 // Bimodal is a PC-indexed table of 2-bit counters.
@@ -244,6 +258,11 @@ func (b *Bimodal) Update(pc uint64, _ GHR, taken bool) {
 
 func (b *Bimodal) HistoryBits() int { return 0 }
 func (b *Bimodal) Name() string     { return "bimodal" }
+
+// Clone deep-copies the counter table.
+func (b *Bimodal) Clone() *Bimodal {
+	return &Bimodal{table: append([]counter(nil), b.table...), mask: b.mask}
+}
 
 // --- Hybrid (gshare + bimodal with a chooser) ---
 
@@ -293,6 +312,31 @@ func (h *Hybrid) Update(pc uint64, hist GHR, taken bool) {
 
 func (h *Hybrid) HistoryBits() int { return h.g.HistoryBits() }
 func (h *Hybrid) Name() string     { return "hybrid" }
+
+// Clone deep-copies both components and the chooser.
+func (h *Hybrid) Clone() *Hybrid {
+	return &Hybrid{g: h.g.Clone(), b: h.b.Clone(),
+		chooser: append([]counter(nil), h.chooser...), mask: h.mask}
+}
+
+// CloneDir deep-copies a direction predictor's trained state. Sampled
+// simulation warms one predictor continuously during functional
+// fast-forward and clones it per checkpoint. Stateless predictors
+// (StaticTaken, StaticNotTaken) are returned as-is.
+func CloneDir(p DirPredictor) DirPredictor {
+	switch v := p.(type) {
+	case *Perceptron:
+		return v.Clone()
+	case *GShare:
+		return v.Clone()
+	case *Bimodal:
+		return v.Clone()
+	case *Hybrid:
+		return v.Clone()
+	default:
+		return p
+	}
+}
 
 // --- static predictors for tests and lower bounds ---
 

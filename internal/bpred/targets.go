@@ -181,3 +181,23 @@ func (t *ITC) Lookup(pc uint64, hist GHR) uint64 {
 func (t *ITC) Update(pc uint64, hist GHR, target uint64) {
 	t.table[t.index(pc, hist)] = target
 }
+
+// Clone deep-copies the BTB's tag and target state.
+func (b *BTB) Clone() *BTB {
+	n := &BTB{sets: make([][]btbEntry, len(b.sets)), assoc: b.assoc,
+		setMask: b.setMask, setSh: b.setSh, clock: b.clock}
+	for i := range b.sets {
+		n.sets[i] = append([]btbEntry(nil), b.sets[i]...)
+	}
+	return n
+}
+
+// Clone deep-copies the return address stack.
+func (r *RAS) Clone() *RAS {
+	return &RAS{stack: append([]uint64(nil), r.stack...), top: r.top, count: r.count}
+}
+
+// Clone deep-copies the indirect target cache.
+func (t *ITC) Clone() *ITC {
+	return &ITC{table: append([]uint64(nil), t.table...), mask: t.mask}
+}

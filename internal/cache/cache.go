@@ -97,6 +97,29 @@ func (c *Cache) Access(addr uint64) bool {
 // Latency returns the hit latency.
 func (c *Cache) Latency() int { return c.cfg.Latency }
 
+// Clone deep-copies the cache: tag state, LRU clock and counters. Sampled
+// simulation warms one hierarchy continuously during functional
+// fast-forward and clones it per checkpoint so every detailed interval
+// starts with the long-reuse-distance cache state an exact run would have.
+func (c *Cache) Clone() *Cache {
+	n := &Cache{cfg: c.cfg, sets: make([][]line, len(c.sets)), setMask: c.setMask,
+		lineSh: c.lineSh, setSh: c.setSh, clock: c.clock, Hits: c.Hits, Misses: c.Misses}
+	// All sets share one backing array (uniform associativity): a sampled
+	// run clones the hierarchy once per checkpoint, and one flat copy
+	// beats thousands of per-set allocations.
+	total := 0
+	for _, s := range c.sets {
+		total += len(s)
+	}
+	flat := make([]line, 0, total)
+	for i, s := range c.sets {
+		off := len(flat)
+		flat = append(flat, s...)
+		n.sets[i] = flat[off:len(flat):len(flat)]
+	}
+	return n
+}
+
 // Hierarchy bundles L1I, L1D, L2 and memory into the lookup functions the
 // core uses.
 type Hierarchy struct {
@@ -128,6 +151,11 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		L2:         New(cfg.L2),
 		MemLatency: cfg.MemLatency,
 	}
+}
+
+// Clone deep-copies the whole hierarchy (see Cache.Clone).
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{L1I: h.L1I.Clone(), L1D: h.L1D.Clone(), L2: h.L2.Clone(), MemLatency: h.MemLatency}
 }
 
 // InstLatency returns the cycles to fetch the instruction word at byte

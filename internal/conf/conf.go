@@ -127,3 +127,20 @@ type NeverLow struct{}
 func (NeverLow) LowConfidence(uint64, bpred.GHR) bool { return false }
 func (NeverLow) Update(uint64, bpred.GHR, bool)       {}
 func (NeverLow) Name() string                         { return "never-low" }
+
+// Clone deep-copies the estimator's counter table.
+func (j *JRS) Clone() *JRS {
+	return &JRS{table: append([]uint8(nil), j.table...), mask: j.mask,
+		histBits: j.histBits, max: j.max, threshold: j.threshold}
+}
+
+// CloneEstimator deep-copies an estimator's trained state. Sampled
+// simulation warms one estimator continuously during functional
+// fast-forward and clones it per checkpoint. Stateless estimators
+// (Perfect, AlwaysLow, NeverLow) are returned as-is.
+func CloneEstimator(e Estimator) Estimator {
+	if j, ok := e.(*JRS); ok {
+		return j.Clone()
+	}
+	return e
+}

@@ -124,9 +124,60 @@ type Config struct {
 	MaxInsts  uint64
 	MaxCycles uint64
 
+	// Sampled simulation (internal/sample). SampleMode selects SMARTS-style
+	// systematic sampling: functional fast-forward between short detailed
+	// intervals, with full-run Stats extrapolated from the intervals and
+	// reported with confidence bounds. The Machine itself ignores these
+	// knobs — drivers (internal/sample, cmd/dmpsim, the exp result cache)
+	// dispatch on SampleMode — but they live on Config so Canonical() keys
+	// sampled and exact results apart in the result cache.
+	//
+	// SamplePeriod is the number of program instructions from one detailed
+	// interval start to the next (and the length of the exactly measured
+	// cold-start prefix); SampleInterval the retired instructions measured
+	// per detailed interval; SampleWarmup optional extra per-interval
+	// functional warming (predictors, caches, merge table trained without
+	// cycle accounting) on top of the continuous warming the fast-forward
+	// pass already does. Zero period/interval take the DefaultSample*
+	// constants. All three are ignored when SampleMode is off.
+	SampleMode     bool
+	SamplePeriod   uint64
+	SampleInterval uint64
+	SampleWarmup   uint64
+
 	// CheckRetirement compares every retired instruction against a
 	// lockstep functional emulator (golden model). Cheap; on by default.
 	CheckRetirement bool
+}
+
+// Default sampling parameters (SampleMode with zero knobs). The period
+// is sized so the scale-1 workloads (~2-4e4 dynamic instructions) still
+// yield enough intervals (k >= ~5) for a meaningful confidence interval,
+// while the detailed fraction (prefix + interval + pipeline ramp) stays
+// low enough for an order-of-magnitude speedup at the default scale.
+// Per-interval warmup defaults to zero: the fast-forward pass warms
+// caches and predictors continuously, which covers far longer reuse
+// distances than any affordable per-interval window.
+const (
+	DefaultSamplePeriod   = 6_000
+	DefaultSampleInterval = 500
+	DefaultSampleWarmup   = 0
+)
+
+// SampleParams returns the effective sampling parameters with defaults
+// applied: what the sampling driver will actually use for this config.
+func (c Config) SampleParams() (period, interval, warmup uint64) {
+	period, interval, warmup = c.SamplePeriod, c.SampleInterval, c.SampleWarmup
+	if period == 0 {
+		period = DefaultSamplePeriod
+	}
+	if interval == 0 {
+		interval = DefaultSampleInterval
+	}
+	if warmup == 0 {
+		warmup = DefaultSampleWarmup
+	}
+	return period, interval, warmup
 }
 
 // DefaultConfig is the baseline processor of Table 2 of the paper.
@@ -193,6 +244,12 @@ func DHPConfig() Config {
 //     (the experiment result cache does, so a cache hit always ran with
 //     the same checking the caller asked for) must carry it beside the
 //     canonical Config in their key;
+//   - folds the sampling knobs to zero when SampleMode is off (an exact
+//     run never reads them) and spells out their defaults when it is on
+//     (a defaulted and an explicitly default-parameterised sampled run
+//     are the same simulation). SampleMode itself is never folded: a
+//     sampled result must never alias the exact result for the same
+//     machine configuration in the result cache;
 //   - spells out the defaulted CFMSource ("" is "annotated") and folds
 //     the merge-predictor knobs for every mode but DMP (the predictor is
 //     only ever built there — DHP and dual-path run from annotations
@@ -237,6 +294,11 @@ func (c Config) Canonical() Config {
 	} else if c.MergeTableSize == 0 {
 		c.MergeTableSize = merge.DefaultConfig().TableSize
 	}
+	if c.SampleMode {
+		c.SamplePeriod, c.SampleInterval, c.SampleWarmup = c.SampleParams()
+	} else {
+		c.SamplePeriod, c.SampleInterval, c.SampleWarmup = 0, 0, 0
+	}
 	c.CheckRetirement = false
 	return c
 }
@@ -276,6 +338,13 @@ func (c *Config) Validate() error {
 	}
 	if c.MergeTableSize < 0 {
 		return fmt.Errorf("core: MergeTableSize must be non-negative")
+	}
+	if c.SampleMode {
+		period, interval, warmup := c.SampleParams()
+		if period < interval+warmup {
+			return fmt.Errorf("core: SamplePeriod %d shorter than SampleInterval %d + SampleWarmup %d",
+				period, interval, warmup)
+		}
 	}
 	return nil
 }

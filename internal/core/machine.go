@@ -99,10 +99,17 @@ type Machine struct {
 	probe  *Probe
 	obsSeq uint64
 
-	// Termination.
-	halted  bool
-	runErr  error
-	retired uint64
+	// Termination and run-loop bookkeeping. started/finished make the
+	// RunUntil/Finish pair safe to call in any sensible order; wdRetired/
+	// wdProgress carry the no-retirement watchdog across RunUntil calls.
+	halted     bool
+	runErr     error
+	retired    uint64
+	started    bool
+	finished   bool
+	startTime  time.Time
+	wdRetired  uint64
+	wdProgress uint64
 
 	Stats Stats
 }
@@ -141,32 +148,11 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, prog: p}
-
-	switch cfg.PredictorName {
-	case "", "perceptron":
-		m.pred = bpred.NewPerceptron(bpred.DefaultPerceptronConfig())
-	case "gshare":
-		m.pred = bpred.NewGShare(16, 14)
-	case "bimodal":
-		m.pred = bpred.NewBimodal(16)
-	case "hybrid":
-		m.pred = bpred.NewHybrid(14, 12)
+	ws, err := newWarmState(cfg)
+	if err != nil {
+		return nil, err
 	}
-	switch cfg.ConfidenceName {
-	case "", "jrs":
-		m.confEst = conf.NewJRS(conf.DefaultJRSConfig())
-	case "perfect":
-		m.confEst = conf.Perfect{}
-	case "always-low":
-		m.confEst = conf.AlwaysLow{}
-	case "never-low":
-		m.confEst = conf.NeverLow{}
-	}
-	m.btb = bpred.NewBTB(4096, 4)
-	m.ras = bpred.NewRAS(64)
-	m.itc = bpred.NewITC(16)
-	m.hier = cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	m := newWith(p, cfg, &ws)
 
 	m.dmem = emu.NewMemory()
 	for addr, val := range p.Data {
@@ -178,38 +164,63 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 	if cfg.CheckRetirement {
 		m.checker = emu.New(p)
 	}
-	if cfg.Mode == ModeDMP && cfg.CFMSource != "" && cfg.CFMSource != "annotated" {
-		mc := merge.DefaultConfig()
-		if cfg.MergeTableSize > 0 {
-			mc.TableSize = cfg.MergeTableSize
-		}
-		mp, err := merge.New(mc)
-		if err != nil {
-			return nil, err
-		}
-		m.merge = mp
-	}
-	m.preds = newPredFile()
-	m.episodes = map[int]*episode{}
 	m.fetchPC = p.Entry
-	for r := range m.rat.e {
-		m.rat.e[r] = ratEntry{val: 0}
-	}
 	m.rat.e[isa.SP] = ratEntry{val: p.StackBase}
 	return m, nil
+}
+
+// newWith builds the machine around an existing learned-state complement
+// (cfg must already be validated, ws must come from newWarmState(cfg) or
+// a Warmer under the same cfg). The caller finishes architectural setup:
+// New starts at the program entry; NewFromCheckpointWarm transplants a
+// checkpoint.
+func newWith(p *prog.Program, cfg Config, ws *WarmState) *Machine {
+	m := &Machine{cfg: cfg, prog: p}
+	m.pred = ws.pred
+	m.confEst = ws.confEst
+	m.btb = ws.btb
+	m.ras = ws.ras
+	m.itc = ws.itc
+	m.hier = ws.hier
+	m.merge = ws.merge
+	m.fetchGHR = ws.ghr
+	m.preds = newPredFile()
+	m.episodes = map[int]*episode{}
+	return m
 }
 
 // Run simulates until the program halts or a run limit is reached, and
 // returns the statistics. A golden-model divergence returns an error.
 func (m *Machine) Run() (*Stats, error) {
-	start := time.Now() //dmp:allow nondeterminism -- feeds only WallSeconds, excluded from golden tables
-	lastRetired := uint64(0)
-	lastProgress := uint64(0)
+	m.RunUntil(m.cfg.MaxInsts) //nolint:errcheck // Finish reports runErr
+	return m.Finish()
+}
+
+// startRun marks the machine running and records the wall-clock start
+// (first call only; RunUntil may be called repeatedly).
+func (m *Machine) startRun() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.startTime = time.Now() //dmp:allow nondeterminism -- feeds only WallSeconds, excluded from golden tables
+}
+
+// RunUntil advances the simulation until total retired program
+// instructions reach n (0 = no target), the program halts, MaxCycles
+// trips, or an error stops the run. It may be called repeatedly with
+// growing targets; Stats.Cycles and Stats.FetchedUops are refreshed on
+// return, so value snapshots of m.Stats between calls compose with
+// Stats.Delta (how the sampling driver carves out a detailed interval
+// after an unmeasured pipeline-fill ramp). Call Finish after the last
+// RunUntil to finalize the run.
+func (m *Machine) RunUntil(n uint64) (*Stats, error) {
+	m.startRun()
 	for !m.halted && m.runErr == nil {
 		if m.cfg.MaxCycles != 0 && m.cycle >= m.cfg.MaxCycles {
 			break
 		}
-		if m.cfg.MaxInsts != 0 && m.Stats.RetiredInsts >= m.cfg.MaxInsts {
+		if n != 0 && m.Stats.RetiredInsts >= n {
 			break
 		}
 		m.retireStage()
@@ -225,28 +236,42 @@ func (m *Machine) Run() (*Stats, error) {
 		// Deadlock watchdog: a correct machine always retires something
 		// within a bounded number of cycles (the worst chain is a memory
 		// miss under a full window).
-		if m.Stats.RetiredInsts != lastRetired {
-			lastRetired = m.Stats.RetiredInsts
-			lastProgress = m.cycle
-		} else if m.cycle-lastProgress > 100_000 {
+		if m.Stats.RetiredInsts != m.wdRetired {
+			m.wdRetired = m.Stats.RetiredInsts
+			m.wdProgress = m.cycle
+		} else if m.cycle-m.wdProgress > 100_000 {
 			m.runErr = fmt.Errorf("core: no retirement for 100000 cycles at cycle %d (pc head=%s)", m.cycle, m.headDesc())
 		}
 	}
 	m.Stats.Cycles = m.cycle
 	m.Stats.FetchedUops = m.arena.allocated
-	m.Stats.WallSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- WallSeconds is excluded from golden tables
-	m.flushWPAll()
-	if m.merge != nil {
-		mc := m.merge.Counts()
-		m.Stats.MergeEvictions = mc.Evictions
-		m.Stats.MergeTrainings = mc.Trainings
+	return &m.Stats, m.runErr
+}
+
+// Finish finalizes a run started with Run or RunUntil: wall-clock
+// accounting, wrong-path episode flush, merge-predictor counters, probe
+// completion, and arena release. The pipeline is permanently stopped
+// afterwards — no uop will be dereferenced again, so the slabs can go
+// back to the shared pool. Idempotent.
+func (m *Machine) Finish() (*Stats, error) {
+	if !m.finished {
+		m.finished = true
+		m.Stats.Cycles = m.cycle
+		m.Stats.FetchedUops = m.arena.allocated
+		if !m.startTime.IsZero() {
+			m.Stats.WallSeconds = time.Since(m.startTime).Seconds() //dmp:allow nondeterminism -- WallSeconds is excluded from golden tables
+		}
+		m.flushWPAll()
+		if m.merge != nil {
+			mc := m.merge.Counts()
+			m.Stats.MergeEvictions = mc.Evictions
+			m.Stats.MergeTrainings = mc.Trainings
+		}
+		if m.probe != nil {
+			m.probeDone()
+		}
+		m.arena.release()
 	}
-	if m.probe != nil {
-		m.probeDone()
-	}
-	// The pipeline is permanently stopped: no uop will be dereferenced
-	// again, so the slabs can go back to the shared pool.
-	m.arena.release()
 	if m.runErr != nil {
 		return &m.Stats, m.runErr
 	}

@@ -32,7 +32,16 @@ type fetchOracle struct {
 }
 
 func newFetchOracle(p *prog.Program) *fetchOracle {
-	o := &fetchOracle{em: emu.New(p), onPath: true}
+	return newFetchOracleFrom(emu.New(p))
+}
+
+// newFetchOracleFrom wraps an already-positioned emulator (the sampling
+// driver seeds it from a mid-program checkpoint). The emulator's Count
+// must equal the machine's retired-instruction count at that point —
+// checkpoint transplant zeroes both — because retirement resync compares
+// the two directly.
+func newFetchOracleFrom(em *emu.Emulator) *fetchOracle {
+	o := &fetchOracle{em: em, onPath: true}
 	o.em.EnableHistory()
 	return o
 }

@@ -146,6 +146,106 @@ func (s *Stats) Delta(prev *Stats) Stats {
 	return d
 }
 
+// Add returns the field-wise sum s + o for every counter: the combined
+// totals of two disjoint measurement windows (the sampling driver sums
+// its detailed intervals this way before extrapolating). HaltRetired is
+// OR-ed — the union of two windows ran to completion if either did.
+func (s *Stats) Add(o *Stats) Stats {
+	a := Stats{
+		Cycles:             s.Cycles + o.Cycles,
+		RetiredInsts:       s.RetiredInsts + o.RetiredInsts,
+		RetiredFalse:       s.RetiredFalse + o.RetiredFalse,
+		RetiredSelects:     s.RetiredSelects + o.RetiredSelects,
+		RetiredMarkers:     s.RetiredMarkers + o.RetiredMarkers,
+		FetchedInsts:       s.FetchedInsts + o.FetchedInsts,
+		FetchedWrongCD:     s.FetchedWrongCD + o.FetchedWrongCD,
+		FetchedWrongCI:     s.FetchedWrongCI + o.FetchedWrongCI,
+		FetchedMarkers:     s.FetchedMarkers + o.FetchedMarkers,
+		ExecutedInsts:      s.ExecutedInsts + o.ExecutedInsts,
+		ExecutedSelects:    s.ExecutedSelects + o.ExecutedSelects,
+		ExecutedMarkers:    s.ExecutedMarkers + o.ExecutedMarkers,
+		RetiredBranches:    s.RetiredBranches + o.RetiredBranches,
+		RetiredMispredicts: s.RetiredMispredicts + o.RetiredMispredicts,
+		Flushes:            s.Flushes + o.Flushes,
+		EarlyExits:         s.EarlyExits + o.EarlyExits,
+		MDBConversions:     s.MDBConversions + o.MDBConversions,
+		Episodes:           s.Episodes + o.Episodes,
+		LowConfCorrect:     s.LowConfCorrect + o.LowConfCorrect,
+		LowConfWrong:       s.LowConfWrong + o.LowConfWrong,
+		MergeHits:          s.MergeHits + o.MergeHits,
+		MergeMisses:        s.MergeMisses + o.MergeMisses,
+		MergeEvictions:     s.MergeEvictions + o.MergeEvictions,
+		MergeTrainings:     s.MergeTrainings + o.MergeTrainings,
+		MergeMispredicts:   s.MergeMispredicts + o.MergeMispredicts,
+		DynCFMEpisodes:     s.DynCFMEpisodes + o.DynCFMEpisodes,
+		L1IMisses:          s.L1IMisses + o.L1IMisses,
+		L1DMisses:          s.L1DMisses + o.L1DMisses,
+		L2Misses:           s.L2Misses + o.L2Misses,
+		LoadStalls:         s.LoadStalls + o.LoadStalls,
+		OraclePauses:       s.OraclePauses + o.OraclePauses,
+		OracleResumes:      s.OracleResumes + o.OracleResumes,
+		HaltRetired:        s.HaltRetired || o.HaltRetired,
+		FetchedUops:        s.FetchedUops + o.FetchedUops,
+		WallSeconds:        s.WallSeconds + o.WallSeconds,
+	}
+	for i := range a.ExitCases {
+		a.ExitCases[i] = s.ExitCases[i] + o.ExitCases[i]
+	}
+	return a
+}
+
+// Scale returns s with every counter multiplied by f (integer counters
+// round half up): the extrapolation step of sampled simulation, where
+// the summed detailed-interval counters are scaled by the ratio of total
+// program instructions to sampled instructions. Ratios of scaled
+// counters (IPC, misprediction rate, ...) equal the ratios of the
+// unscaled sums, so derived metrics survive extrapolation exactly.
+// HaltRetired copies.
+func (s *Stats) Scale(f float64) Stats {
+	su := func(v uint64) uint64 { return uint64(math.Floor(float64(v)*f + 0.5)) }
+	c := Stats{
+		Cycles:             su(s.Cycles),
+		RetiredInsts:       su(s.RetiredInsts),
+		RetiredFalse:       su(s.RetiredFalse),
+		RetiredSelects:     su(s.RetiredSelects),
+		RetiredMarkers:     su(s.RetiredMarkers),
+		FetchedInsts:       su(s.FetchedInsts),
+		FetchedWrongCD:     su(s.FetchedWrongCD),
+		FetchedWrongCI:     su(s.FetchedWrongCI),
+		FetchedMarkers:     su(s.FetchedMarkers),
+		ExecutedInsts:      su(s.ExecutedInsts),
+		ExecutedSelects:    su(s.ExecutedSelects),
+		ExecutedMarkers:    su(s.ExecutedMarkers),
+		RetiredBranches:    su(s.RetiredBranches),
+		RetiredMispredicts: su(s.RetiredMispredicts),
+		Flushes:            su(s.Flushes),
+		EarlyExits:         su(s.EarlyExits),
+		MDBConversions:     su(s.MDBConversions),
+		Episodes:           su(s.Episodes),
+		LowConfCorrect:     su(s.LowConfCorrect),
+		LowConfWrong:       su(s.LowConfWrong),
+		MergeHits:          su(s.MergeHits),
+		MergeMisses:        su(s.MergeMisses),
+		MergeEvictions:     su(s.MergeEvictions),
+		MergeTrainings:     su(s.MergeTrainings),
+		MergeMispredicts:   su(s.MergeMispredicts),
+		DynCFMEpisodes:     su(s.DynCFMEpisodes),
+		L1IMisses:          su(s.L1IMisses),
+		L1DMisses:          su(s.L1DMisses),
+		L2Misses:           su(s.L2Misses),
+		LoadStalls:         su(s.LoadStalls),
+		OraclePauses:       su(s.OraclePauses),
+		OracleResumes:      su(s.OracleResumes),
+		HaltRetired:        s.HaltRetired,
+		FetchedUops:        su(s.FetchedUops),
+		WallSeconds:        s.WallSeconds * f,
+	}
+	for i := range c.ExitCases {
+		c.ExitCases[i] = su(s.ExitCases[i])
+	}
+	return c
+}
+
 // SimCyclesPerSec returns simulated cycles per host wall-clock second.
 func (s *Stats) SimCyclesPerSec() float64 {
 	if s.WallSeconds <= 0 {

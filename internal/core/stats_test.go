@@ -143,6 +143,106 @@ func TestStatsDelta(t *testing.T) {
 	}
 }
 
+// TestStatsAdd pins that Add sums *every* counter field: the reflection
+// walk fails if a newly added Stats field is forgotten in Add (its sum
+// would be 0 where a+b is not), so extrapolation can never silently drop
+// a counter.
+func TestStatsAdd(t *testing.T) {
+	var a, b Stats
+	fillStats(&a, 1)
+	fillStats(&b, 3)
+	sum := a.Add(&b)
+
+	sv := reflect.ValueOf(sum)
+	av := reflect.ValueOf(a)
+	bv := reflect.ValueOf(b)
+	typ := sv.Type()
+	var check func(name string, s, a, b reflect.Value)
+	check = func(name string, s, a, b reflect.Value) {
+		switch s.Kind() {
+		case reflect.Uint64:
+			if got, want := s.Uint(), a.Uint()+b.Uint(); got != want {
+				t.Errorf("Add.%s = %d, want %d (field not summed?)", name, got, want)
+			}
+		case reflect.Float64:
+			if got, want := s.Float(), a.Float()+b.Float(); got != want {
+				t.Errorf("Add.%s = %v, want %v", name, got, want)
+			}
+		case reflect.Array:
+			for i := 0; i < s.Len(); i++ {
+				check(name, s.Index(i), a.Index(i), b.Index(i))
+			}
+		case reflect.Bool:
+			if s.Bool() != (a.Bool() || b.Bool()) {
+				t.Errorf("Add.%s = %v, want OR of inputs", name, s.Bool())
+			}
+		}
+	}
+	for i := 0; i < sv.NumField(); i++ {
+		check(typ.Field(i).Name, sv.Field(i), av.Field(i), bv.Field(i))
+	}
+
+	// Adding a zero value is the identity; HaltRetired ORs.
+	var zero Stats
+	if a.Add(&zero) != a {
+		t.Error("Add of zero Stats is not the identity")
+	}
+	halted := Stats{HaltRetired: true}
+	if !zero.Add(&halted).HaltRetired {
+		t.Error("Add did not OR HaltRetired")
+	}
+}
+
+// TestStatsScale pins that Scale multiplies *every* counter field
+// (integer counters round half up), so extrapolating sampled stats can
+// never silently zero a counter added later.
+func TestStatsScale(t *testing.T) {
+	var s Stats
+	fillStats(&s, 3)
+	const f = 2.5
+	sc := s.Scale(f)
+
+	cv := reflect.ValueOf(sc)
+	ov := reflect.ValueOf(s)
+	typ := cv.Type()
+	var check func(name string, c, o reflect.Value)
+	check = func(name string, c, o reflect.Value) {
+		switch c.Kind() {
+		case reflect.Uint64:
+			want := uint64(float64(o.Uint())*f + 0.5)
+			if got := c.Uint(); got != want {
+				t.Errorf("Scale.%s = %d, want %d (field not scaled?)", name, got, want)
+			}
+		case reflect.Float64:
+			if got, want := c.Float(), o.Float()*f; got != want {
+				t.Errorf("Scale.%s = %v, want %v", name, got, want)
+			}
+		case reflect.Array:
+			for i := 0; i < c.Len(); i++ {
+				check(name, c.Index(i), o.Index(i))
+			}
+		case reflect.Bool:
+			if c.Bool() != o.Bool() {
+				t.Errorf("Scale.%s = %v, want copied", name, c.Bool())
+			}
+		}
+	}
+	for i := 0; i < cv.NumField(); i++ {
+		check(typ.Field(i).Name, cv.Field(i), ov.Field(i))
+	}
+
+	// Scaling by 1 is the identity, and derived ratios are preserved
+	// under scaling (the property extrapolated IPC depends on).
+	if s.Scale(1) != s {
+		t.Error("Scale(1) is not the identity")
+	}
+	r := Stats{Cycles: 1000, RetiredInsts: 2500}
+	r4 := r.Scale(4)
+	if r4.IPC() != r.IPC() {
+		t.Errorf("IPC not preserved under scaling: %v vs %v", r4.IPC(), r.IPC())
+	}
+}
+
 // TestStatsStringRounding pins half-away-from-zero percentage rounding:
 // 1 mispredict in 800 branches is exactly 0.125%, which %.2f alone would
 // render "0.12" (half-to-even).

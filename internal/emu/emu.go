@@ -148,6 +148,82 @@ func (e *Emulator) Step() (Step, error) {
 	return s, nil
 }
 
+// Excursion speculatively executes from pc for up to max instructions
+// without disturbing the emulator: registers are copied, stores land in
+// a private overlay, and loads see the overlay first and committed
+// memory second. fn receives each step; returning false stops the walk.
+// Execution also stops silently at a HALT, at any PC outside the code
+// image, or on an op Step would reject — a wrong path may run anywhere,
+// and the caller (wrong-path runahead warming) wants "stop", not an
+// error. The emulator's own Regs, Mem, PC, and Count are untouched.
+func (e *Emulator) Excursion(pc uint64, max int, fn func(Step) bool) {
+	regs := e.Regs
+	var overlay map[uint64]uint64
+	reg := func(r isa.Reg) uint64 {
+		if r == isa.Zero {
+			return 0
+		}
+		return regs[r]
+	}
+	setReg := func(r isa.Reg, v uint64) {
+		if r != isa.Zero {
+			regs[r] = v
+		}
+	}
+	for n := 0; n < max; n++ {
+		if !e.Prog.InCode(pc) {
+			return
+		}
+		in := e.Prog.Code[pc]
+		s := Step{PC: pc, Inst: in, NextPC: pc + 1}
+		switch {
+		case in.IsALU():
+			setReg(in.Dst, isa.EvalALU(in, reg(in.Src1), reg(in.Src2)))
+		case in.Op == isa.LD:
+			addr := reg(in.Src1) + uint64(in.Imm)
+			v, ok := overlay[addr>>3]
+			if !ok {
+				v = e.Mem.Read(addr)
+			}
+			setReg(in.Dst, v)
+			s.IsLoad, s.Addr = true, addr
+		case in.Op == isa.ST:
+			addr := reg(in.Src1) + uint64(in.Imm)
+			if overlay == nil {
+				overlay = map[uint64]uint64{}
+			}
+			overlay[addr>>3] = reg(in.Src2)
+			s.IsStore, s.Addr = true, addr
+		case in.Op == isa.BR:
+			s.Taken = in.Cond.Eval(reg(in.Src1), reg(in.Src2))
+			if s.Taken {
+				s.NextPC = in.Target
+			}
+		case in.Op == isa.JMP:
+			s.NextPC = in.Target
+		case in.Op == isa.JR:
+			s.NextPC = reg(in.Src1)
+		case in.Op == isa.CALL:
+			setReg(in.Dst, pc+1)
+			s.NextPC = in.Target
+		case in.Op == isa.CALLR:
+			t := reg(in.Src1)
+			setReg(in.Dst, pc+1)
+			s.NextPC = t
+		case in.Op == isa.RET:
+			s.NextPC = reg(in.Src1)
+		case in.Op == isa.NOP:
+			// nothing
+		default:
+			return // HALT or unimplemented: the wrong path ends here
+		}
+		if !fn(s) {
+			return
+		}
+		pc = s.NextPC
+	}
+}
+
 // Run executes until HALT or until max instructions have executed (0
 // means no limit). It returns the number of instructions executed.
 func (e *Emulator) Run(max uint64) (uint64, error) {

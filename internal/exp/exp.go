@@ -37,6 +37,12 @@ type Options struct {
 	// The cap is process-level, shared by every concurrently running
 	// experiment: the first run fixes the pool size (see simcache.go).
 	Parallel int
+	// SamplePeriod / SampleInterval / SampleWarmup override the sampling
+	// parameters for the sampling experiment (0 = core defaults). They
+	// affect no other experiment.
+	SamplePeriod   uint64
+	SampleInterval uint64
+	SampleWarmup   uint64
 }
 
 // DefaultOptions returns the standard experiment configuration.

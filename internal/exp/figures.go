@@ -446,11 +446,12 @@ var All = map[string]func(Options) (*Table, error){
 	"dualpath":    DualPath,
 	"loopdiverge": LoopDiverge,
 	"mergepred":   MergePred,
+	"sampling":    Sampling,
 }
 
 // IDs returns the experiment ids in presentation order.
 func IDs() []string {
-	ids := []string{"table2", "table3", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "dualpath", "loopdiverge", "mergepred"}
+	ids := []string{"table2", "table3", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "dualpath", "loopdiverge", "mergepred", "sampling"}
 	if len(ids) != len(All) {
 		keys := make([]string, 0, len(All))
 		//dmp:allow nondeterminism -- keys are sorted on the next line

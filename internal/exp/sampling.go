@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"dmp/internal/core"
+	"dmp/internal/sample"
+)
+
+// SampleBench is one benchmark's sampled-vs-exact validation record.
+// The accuracy fields (IPC, error, CI) are deterministic; the throughput
+// fields describe this process's wall clock and are excluded from the
+// experiment table (they go to BENCH_sample.json).
+type SampleBench struct {
+	Bench      string  `json:"bench"`
+	TotalInsts uint64  `json:"total_insts"`
+	ExactIPC   float64 `json:"exact_ipc"`
+	SampledIPC float64 `json:"sampled_ipc"`
+	// ErrPct is the signed sampled-vs-exact IPC error in percent.
+	ErrPct float64 `json:"err_pct"`
+	// IPCMean / CI95 are the per-interval mean and its 95% half-width;
+	// Covered reports whether mean ± CI95 contains the exact IPC.
+	IPCMean float64 `json:"ipc_mean"`
+	CI95    float64 `json:"ci95"`
+	Covered bool    `json:"covered"`
+	K       int     `json:"k"`
+	// Host-throughput comparison (wall-clock dependent).
+	ExactWall         float64 `json:"exact_wall_s"`
+	SampleWall        float64 `json:"sample_wall_s"`
+	ExactInstsPerSec  float64 `json:"exact_insts_per_s"`
+	SampleInstsPerSec float64 `json:"sample_insts_per_s"`
+	// Speedup is simulated instructions per host second, sampled over
+	// exact (same program, so also the wall-clock ratio).
+	Speedup float64 `json:"speedup"`
+}
+
+// SampleReport aggregates the per-benchmark validation for
+// BENCH_sample.json and the CI accuracy gate.
+type SampleReport struct {
+	Scale          int           `json:"scale"`
+	Period         uint64        `json:"period"`
+	Interval       uint64        `json:"interval"`
+	Warmup         uint64        `json:"warmup"`
+	Ramp           uint64        `json:"ramp"`
+	Benches        []SampleBench `json:"benches"`
+	AmeanAbsErrPct float64       `json:"amean_abs_err_pct"`
+	AmeanSpeedup   float64       `json:"amean_speedup"`
+	CoveredCount   int           `json:"covered_count"`
+}
+
+// Sampling validates sampled simulation against exact golden runs: the
+// enhanced DMP machine simulated exactly and in SampleMode on every
+// benchmark, with per-benchmark IPC error, 95% confidence interval, and
+// CI coverage. Throughput (the point of sampling) is wall-clock
+// dependent, so it stays out of the deterministic table; dmpexp
+// -sample-json records it.
+func Sampling(o Options) (*Table, error) {
+	t, _, err := SamplingReport(o)
+	return t, err
+}
+
+// SamplingReport is Sampling plus the machine-readable report behind
+// BENCH_sample.json and the -sample-gate accuracy check.
+func SamplingReport(o Options) (*Table, *SampleReport, error) {
+	o = o.norm()
+	exCfg := core.EnhancedDMPConfig()
+	exact, err := runSuite(exCfg, o)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sCfg := exCfg
+	sCfg.SampleMode = true
+	sCfg.CheckRetirement = o.Check
+	sCfg.SamplePeriod = o.SamplePeriod
+	sCfg.SampleInterval = o.SampleInterval
+	sCfg.SampleWarmup = o.SampleWarmup
+	results := make([]*sample.Result, len(o.Benchmarks))
+	errs := make([]error, len(o.Benchmarks))
+	slots := workerSlots(o.Parallel)
+	var wg sync.WaitGroup
+	for i, bench := range o.Benchmarks {
+		wg.Add(1)
+		go func(i int, bench string) {
+			defer wg.Done()
+			p, err := annotatedCached(bench, o.Scale, false)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", bench, err)
+				return
+			}
+			// Hold one worker slot for the run; interval jobs try-acquire
+			// further slots from the same pool and fall back inline.
+			slots <- struct{}{}
+			defer func() { <-slots }()
+			results[i], errs[i] = sample.Run(p, sCfg, sample.Options{Slots: slots})
+			if errs[i] != nil {
+				errs[i] = fmt.Errorf("%s: %w", bench, errs[i])
+			}
+		}(i, bench)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	period, interval, warmup := sCfg.SampleParams()
+	rep := &SampleReport{Scale: o.Scale, Period: period, Interval: interval, Warmup: warmup, Ramp: sample.RampRetired}
+	t := &Table{ID: "sampling", Title: "Sampled simulation: fast-forward + warmed intervals vs exact golden runs",
+		Header: []string{"bench", "insts", "exact-IPC", "sampled-IPC", "err%", "±ci95", "cover", "k"}}
+	var absErrs, speedups []float64
+	var detailedFrac float64
+	for i, bench := range o.Benchmarks {
+		ex, r := exact[i], results[i]
+		b := SampleBench{
+			Bench:      bench,
+			TotalInsts: r.TotalInsts,
+			ExactIPC:   ex.IPC(),
+			SampledIPC: r.IPC,
+			IPCMean:    r.IPCMean,
+			CI95:       r.CI95,
+			Covered:    r.Covers(ex.IPC()),
+			K:          r.K,
+			ExactWall:  ex.WallSeconds,
+			SampleWall: r.WallSeconds,
+		}
+		b.ErrPct = 100 * (r.IPC - b.ExactIPC) / b.ExactIPC
+		if ex.WallSeconds > 0 {
+			b.ExactInstsPerSec = float64(ex.RetiredInsts) / ex.WallSeconds
+		}
+		if r.WallSeconds > 0 {
+			b.SampleInstsPerSec = float64(r.TotalInsts) / r.WallSeconds
+		}
+		if b.ExactInstsPerSec > 0 {
+			b.Speedup = b.SampleInstsPerSec / b.ExactInstsPerSec
+			speedups = append(speedups, b.Speedup)
+		}
+		absErrs = append(absErrs, math.Abs(b.ErrPct))
+		detailedFrac += float64(r.DetailedRetired) / float64(r.TotalInsts)
+		if b.Covered {
+			rep.CoveredCount++
+		}
+		rep.Benches = append(rep.Benches, b)
+		cover := "no"
+		if b.Covered {
+			cover = "yes"
+		}
+		t.AddRow(bench, d(r.TotalInsts), f3(b.ExactIPC), f3(b.SampledIPC),
+			f2(b.ErrPct), f3(b.CI95), cover, strconv.Itoa(b.K))
+	}
+	rep.AmeanAbsErrPct = amean(absErrs)
+	rep.AmeanSpeedup = amean(speedups)
+	t.AddRow("amean", "", "", "", f2(rep.AmeanAbsErrPct), "", "", "")
+	t.Note = fmt.Sprintf(
+		"period %d, interval %d, warmup %d, ramp %d (detailed %.1f%% of instructions); "+
+			"err%% = sampled vs exact IPC, amean of |err%%|; cover = exact IPC within mean ± ci95; "+
+			"speedups are wall-clock dependent and reported via dmpexp -sample-json",
+		period, interval, warmup, sample.RampRetired, 100*detailedFrac/float64(len(o.Benchmarks)))
+	return t, rep, nil
+}

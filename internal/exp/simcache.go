@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"dmp/internal/core"
+	"dmp/internal/sample"
 )
 
 // Simulation results are memoized process-wide, one entry per unique
@@ -119,13 +120,26 @@ func runOneCached(bench string, cfg core.Config, o Options, loops bool) (*core.S
 
 // simulate is the uncached simulation behind runOneCached: one benchmark,
 // one machine configuration, one run. The result is detached from the
-// Machine (Clone) so the cache does not pin simulator state.
+// Machine (Clone) so the cache does not pin simulator state. A SampleMode
+// config dispatches to the sampling driver (internal/sample) and caches
+// the extrapolated Stats; Config.Canonical keeps SampleMode in the key,
+// so a sampled result can never alias the exact result.
 func simulate(bench string, cfg core.Config, o Options, loops bool) (*core.Stats, error) {
 	p, err := annotatedCached(bench, o.Scale, loops)
 	if err != nil {
 		return nil, err
 	}
 	cfg.CheckRetirement = o.Check
+	if cfg.SampleMode {
+		// The calling goroutine holds a worker slot for the whole sampled
+		// run; handing the pool down lets interval jobs use idle slots
+		// (try-acquire — a full pool runs intervals inline, no deadlock).
+		res, err := sample.Run(p, cfg, sample.Options{Slots: workerSlots(o.Parallel)})
+		if err != nil {
+			return nil, fmt.Errorf("under %v: %w", cfg.Mode, err)
+		}
+		return res.Extrapolated.Clone(), nil
+	}
 	m, err := core.New(p, cfg)
 	if err != nil {
 		return nil, err

@@ -488,3 +488,46 @@ func (p *Predictor) retrain(e *entry) {
 		e.distEst = (3*e.distEst + dist) / 4
 	}
 }
+
+// Clone deep-copies the predictor: table entries (including learned CFM
+// points and their path windows), the PC index, in-flight training
+// windows, and counters. Sampled simulation warms one predictor
+// continuously during functional fast-forward and clones it per
+// checkpoint so detailed intervals start with the reconvergence table an
+// exact run would have. Path and window slices are copied with their
+// full MaxTrack capacity so the clone allocates nothing on the hot path.
+func (p *Predictor) Clone() *Predictor {
+	n := &Predictor{
+		cfg:     p.cfg,
+		entries: make([]entry, len(p.entries)),
+		index:   make(map[uint64]int, len(p.index)),
+		used:    p.used,
+		stamp:   p.stamp,
+		depth:   p.depth,
+		windows: make([]window, len(p.windows)),
+		active:  p.active,
+		counts:  p.counts,
+	}
+	for i := range p.entries {
+		e := p.entries[i]
+		for d := 0; d < 2; d++ {
+			path := make([]uint64, len(e.path[d]), p.cfg.MaxTrack)
+			copy(path, e.path[d])
+			e.path[d] = path
+		}
+		n.entries[i] = e
+	}
+	for pc, slot := range p.index {
+		n.index[pc] = slot
+	}
+	for i := range p.windows {
+		w := p.windows[i]
+		pcs := make([]uint64, len(w.pcs), p.cfg.MaxTrack)
+		copy(pcs, w.pcs)
+		w.pcs = pcs
+		w.seenPC = append([]uint64(nil), w.seenPC...)
+		w.seenAt = append([]uint32(nil), w.seenAt...)
+		n.windows[i] = w
+	}
+	return n
+}

@@ -1,0 +1,59 @@
+package sample
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Manifest is the JSON record of one sampled run's interval accounting:
+// what was measured where, and what the extrapolation claimed. dmpsim
+// -sample-manifest writes one; dmpobs -manifest validates the accounting
+// (interval count, warmup and detailed sums, per-interval IPC
+// consistency) without re-running anything.
+type Manifest struct {
+	TotalInsts  uint64     `json:"total_insts"`
+	Period      uint64     `json:"period"`
+	IntervalLen uint64     `json:"interval"`
+	Warmup      uint64     `json:"warmup"`
+	Ramp        uint64     `json:"ramp"`
+	PrefRetired uint64     `json:"prefix_retired"`
+	PrefCycles  uint64     `json:"prefix_cycles"`
+	K           int        `json:"k"`
+	DetRetired  uint64     `json:"detailed_retired"`
+	DetCycles   uint64     `json:"detailed_cycles"`
+	IPC         float64    `json:"ipc"`
+	IPCMean     float64    `json:"ipc_mean"`
+	CI95        float64    `json:"ci95"`
+	Intervals   []Interval `json:"intervals"`
+}
+
+// Manifest builds the manifest record for the result.
+func (r *Result) Manifest() Manifest {
+	return Manifest{
+		TotalInsts:  r.TotalInsts,
+		Period:      r.Period,
+		IntervalLen: r.IntervalLen,
+		Warmup:      r.Warmup,
+		Ramp:        r.Ramp,
+		PrefRetired: r.PrefixRetired,
+		PrefCycles:  r.PrefixCycles,
+		K:           r.K,
+		DetRetired:  r.DetailedRetired,
+		DetCycles:   r.DetailedCycles,
+		IPC:         r.IPC,
+		IPCMean:     r.IPCMean,
+		CI95:        r.CI95,
+		Intervals:   r.Intervals,
+	}
+}
+
+// WriteManifest writes the manifest as indented JSON.
+func (r *Result) WriteManifest(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Manifest(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,400 @@
+// Package sample implements SMARTS-style sampled simulation for the DMP
+// simulator: functional fast-forward with continuous microarchitectural
+// warming between short detailed intervals, with full-run Stats
+// extrapolated from the measured intervals and reported with CLT
+// confidence bounds.
+//
+// A sampled run has three parts:
+//
+//  1. A detailed prefix. The first SamplePeriod instructions are
+//     simulated exactly from the cold machine state an exact run starts
+//     with. Cold-start cycles (compulsory cache misses, untrained
+//     predictors) are deterministic, concentrated at the beginning, and
+//     — at this simulator's workload scales — a disproportionate share
+//     of total cycles; measuring them exactly removes the largest
+//     bias/variance source instead of hoping a random window catches it.
+//
+//  2. One continuous functional pass over the rest of the program
+//     (core.Warmer): an architectural emulator that also trains the
+//     cache hierarchy, branch predictor, confidence estimator, BTB,
+//     RAS, indirect target cache, and merge-point predictor on every
+//     instruction — SMARTS-style functional warming. In each
+//     SamplePeriod-instruction stratum the driver picks one
+//     deterministic pseudo-random offset (stratified sampling; a fixed
+//     offset would alias with periodic program phases) and captures an
+//     architectural checkpoint plus a deep copy of the warmed state.
+//
+//  3. One independent detailed interval per checkpoint, concurrently
+//     where the worker pool allows: transplant architectural state
+//     and warmed state (core.NewFromCheckpointWarm), run an
+//     optional SampleWarmup functional warm window, an unmeasured
+//     RampRetired detailed pipeline-fill ramp, then measure
+//     SampleInterval retired instructions as a Stats.Delta between two
+//     RunUntil snapshots.
+//
+// Extrapolation: summed interval counters are scaled to the sampled
+// region (Stats.Scale) and added to the exact prefix Stats. The cycle
+// estimate is prefix cycles + sampled-region instructions x the measured
+// CPI ratio; the per-interval CPI spread gives a 95% confidence
+// half-width (1.96 s/sqrt(k), CLT) that propagates to an IPC interval.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"dmp/internal/core"
+	"dmp/internal/emu"
+	"dmp/internal/prog"
+)
+
+// RampRetired is the unmeasured detailed ramp before each measured
+// interval: the machine simulates this many retired instructions to fill
+// the pipeline before the measuring snapshot is taken. Beyond filling
+// the pipeline, the ramp lets the machine re-establish state functional
+// warming cannot see — in-flight wrong-path cache pollution and the
+// runahead prefetching it produces — so it is deliberately longer than
+// the pipeline itself. Shrinking it below ~512 instructions produces
+// measurable per-window IPC bias on memory-bound workloads.
+const RampRetired = 512
+
+// PrefixRetired is the length of the exactly-measured detailed prefix.
+// Program start is where compulsory misses and cold predictors
+// concentrate — at these workload scales the first ~2000 instructions
+// can carry 20% of all cycles — and no statistical sample can represent
+// them, so the sampler measures the cold-start region exactly and
+// extrapolates only over the steady-state remainder.
+const PrefixRetired = 2048
+
+// Options controls driver resources (the sampling parameters themselves
+// live on core.Config, so the result cache keys on them).
+type Options struct {
+	// Slots, when non-nil, is a shared worker-slot semaphore (the exp
+	// package's global pool). Interval jobs try-acquire: on success the
+	// interval simulates on its own goroutine holding a slot, otherwise
+	// it runs inline on the caller's goroutine — which typically already
+	// holds a slot, so a full pool degrades to sequential instead of
+	// deadlocking. When nil, a private GOMAXPROCS-sized pool is used.
+	Slots chan struct{}
+}
+
+// Interval is one measured detailed interval.
+type Interval struct {
+	// Index is the interval's position in program order.
+	Index int `json:"index"`
+	// Start is the instruction index (architectural count) where the
+	// interval's machine was checkpointed.
+	Start uint64 `json:"start"`
+	// Warmed counts extra per-interval functional-warming instructions
+	// (SampleWarmup; the long-lived state is continuously warmed).
+	Warmed uint64 `json:"warmed"`
+	// RampRetired counts unmeasured pipeline-fill instructions retired
+	// before the measuring snapshot.
+	RampRetired uint64 `json:"ramp_retired"`
+	// Retired / Cycles are the measured window's Stats.Delta counters.
+	Retired uint64 `json:"retired"`
+	Cycles  uint64 `json:"cycles"`
+	// IPC is Retired/Cycles for this interval.
+	IPC float64 `json:"ipc"`
+}
+
+// Result is a sampled run: the extrapolated full-run Stats plus the
+// per-interval evidence behind them.
+type Result struct {
+	// Effective sampling parameters (defaults applied).
+	Period, IntervalLen, Warmup, Ramp uint64
+	// TotalInsts is the architectural instruction count of the full run
+	// (the functional pass runs it end to end; MaxInsts truncates it).
+	TotalInsts uint64
+	// PrefixRetired / PrefixCycles are the exactly measured cold-start
+	// prefix (~one period from instruction zero).
+	PrefixRetired uint64
+	PrefixCycles  uint64
+	// K is the number of measured intervals; Intervals lists them.
+	K         int
+	Intervals []Interval
+	// DetailedRetired / DetailedCycles sum the measured windows and the
+	// prefix — every exactly simulated, counted instruction.
+	DetailedRetired uint64
+	DetailedCycles  uint64
+	// IPC is the headline sampled estimate: TotalInsts over (prefix
+	// cycles + sampled-region instructions x measured CPI). IPCMean is
+	// the unweighted mean of per-interval IPCs (diagnostic only). CI95
+	// is the 95% confidence half-width around IPC, from the
+	// per-interval CPI spread (CLT over k intervals) propagated through
+	// the extrapolation.
+	IPC     float64
+	IPCMean float64
+	CI95    float64
+	// Extrapolated is the full-run Stats estimate: exact prefix Stats
+	// plus interval counters scaled to the sampled region, with
+	// RetiredInsts pinned to the exact TotalInsts and WallSeconds set to
+	// the driver's real wall time (so throughput metrics describe the
+	// sampled run).
+	Extrapolated *core.Stats
+	// WallSeconds is the host wall-clock time of the whole sampled run
+	// (prefix + warming pass + detailed intervals).
+	WallSeconds float64
+}
+
+// Covers reports whether the 95% confidence interval around the sampled
+// IPC estimate contains ipc (typically the exact run's IPC).
+func (r *Result) Covers(ipc float64) bool {
+	return math.Abs(ipc-r.IPC) <= r.CI95
+}
+
+// checkpointAt pairs a captured architectural checkpoint with its
+// instruction index and the continuously warmed state at that point.
+type checkpointAt struct {
+	start uint64
+	ck    emu.Checkpoint
+	ws    *core.WarmState
+}
+
+// Run samples one program under cfg. cfg.SampleMode must be set; the
+// sampling parameters come from cfg.SampleParams(). cfg.MaxInsts, when
+// non-zero, truncates the sampled region exactly as it truncates an
+// exact run.
+func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
+	if !cfg.SampleMode {
+		return nil, fmt.Errorf("sample: config has SampleMode off")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	period, interval, warmup := cfg.SampleParams()
+	start := time.Now() //dmp:allow nondeterminism -- feeds only WallSeconds, excluded from golden tables
+	maxTotal := cfg.MaxInsts
+
+	// Detailed prefix: the cold-start region, measured exactly.
+	prefTarget := uint64(PrefixRetired)
+	if period < prefTarget {
+		prefTarget = period
+	}
+	if maxTotal != 0 && maxTotal < prefTarget {
+		prefTarget = maxTotal
+	}
+	pm, err := core.New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pm.RunUntil(prefTarget); err != nil {
+		pm.Finish() //nolint:errcheck // reporting the RunUntil error
+		return nil, fmt.Errorf("sample: prefix: %w", err)
+	}
+	ps, err := pm.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("sample: prefix: %w", err)
+	}
+	pre := *ps // value copy; the machine (and its arena) is done
+	if pre.HaltRetired || (maxTotal != 0 && pre.RetiredInsts >= maxTotal) {
+		return nil, fmt.Errorf("sample: program too short to sample (ends inside the %d-instruction detailed prefix); run exact or shrink -sample-period",
+			prefTarget)
+	}
+	prefR := pre.RetiredInsts
+
+	// Continuous functional warming pass over [prefR, total), capturing
+	// one checkpoint per period at a stratified pseudo-random offset.
+	w, err := core.NewWarmer(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.WarmTo(prefR); err != nil {
+		return nil, err
+	}
+	offRange := uint64(1)
+	if period > warmup+interval+RampRetired {
+		offRange = period - warmup - interval - RampRetired + 1
+	}
+	var cks []checkpointAt
+	for j := uint64(0); ; j++ {
+		base := prefR + j*period
+		if maxTotal != 0 && base >= maxTotal {
+			break
+		}
+		if err := w.WarmTo(base + splitmix64(j)%offRange); err != nil {
+			return nil, err
+		}
+		if w.Halted() {
+			break
+		}
+		cks = append(cks, checkpointAt{start: w.Count(), ck: w.Checkpoint(), ws: w.Snapshot()})
+		end := base + period
+		if maxTotal != 0 && end > maxTotal {
+			end = maxTotal
+		}
+		if err := w.WarmTo(end); err != nil {
+			return nil, err
+		}
+		if w.Halted() || (maxTotal != 0 && w.Count() >= maxTotal) {
+			break
+		}
+	}
+	// Tail after the last checkpoint: plain fast-forward, no training.
+	if maxTotal == 0 {
+		if err := w.RunToHalt(); err != nil {
+			return nil, err
+		}
+	} else if err := w.SkipTo(maxTotal); err != nil {
+		return nil, err
+	}
+	total := w.Count()
+	if len(cks) == 0 {
+		return nil, fmt.Errorf("sample: program too short to sample (%d instructions, period %d); run exact or shrink -sample-period",
+			total, period)
+	}
+
+	// Detailed intervals, concurrently where slots allow. Results land in
+	// index order, so aggregation below is deterministic regardless of
+	// scheduling.
+	slots := o.Slots
+	if slots == nil {
+		slots = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	mcfg := cfg
+	mcfg.MaxInsts = 0 // interval machines are bounded by RunUntil targets
+	ivs := make([]Interval, len(cks))
+	sts := make([]core.Stats, len(cks))
+	errs := make([]error, len(cks))
+	var wg sync.WaitGroup
+	for i := range cks {
+		i := i
+		work := func() {
+			ivs[i], sts[i], errs[i] = runInterval(p, mcfg, cks[i], warmup, interval)
+			ivs[i].Index = i
+		}
+		select {
+		case slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				work()
+			}()
+		default:
+			work()
+		}
+	}
+	wg.Wait()
+
+	res := &Result{Period: period, IntervalLen: interval, Warmup: warmup, Ramp: RampRetired,
+		TotalInsts: total, PrefixRetired: prefR, PrefixCycles: pre.Cycles}
+	agg := core.Stats{}
+	var cpis, ipcs []float64
+	for i := range cks {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("sample: interval %d (insts %d+): %w", i, cks[i].start, errs[i])
+		}
+		if ivs[i].Retired == 0 || ivs[i].Cycles == 0 {
+			// The program halted inside this interval's warming or ramp:
+			// nothing measured, nothing to extrapolate from.
+			continue
+		}
+		agg = agg.Add(&sts[i])
+		cpis = append(cpis, float64(ivs[i].Cycles)/float64(ivs[i].Retired))
+		ipcs = append(ipcs, ivs[i].IPC)
+		res.Intervals = append(res.Intervals, ivs[i])
+	}
+	res.K = len(res.Intervals)
+	if res.K == 0 {
+		return nil, fmt.Errorf("sample: no measurable intervals (program halts inside every measured window)")
+	}
+	res.DetailedRetired = prefR + agg.RetiredInsts
+	res.DetailedCycles = pre.Cycles + agg.Cycles
+
+	// Ratio estimate: sampled-region CPI from the pooled windows, cycle
+	// estimate = exact prefix + region instructions x CPI. The
+	// per-interval CPI spread gives the CLT half-width, propagated to
+	// IPC through the (monotone) cycles -> IPC map.
+	sampR := total - prefR
+	cpi := float64(agg.Cycles) / float64(agg.RetiredInsts)
+	estC := float64(pre.Cycles) + float64(sampR)*cpi
+	res.IPC = float64(total) / estC
+	res.IPCMean, _ = meanCI95(ipcs)
+	_, cpiCI := meanCI95(cpis)
+	if dC := float64(sampR) * cpiCI; dC > 0 && dC < estC {
+		res.CI95 = (float64(total)/(estC-dC) - float64(total)/(estC+dC)) / 2
+	}
+
+	sc := agg.Scale(float64(sampR) / float64(agg.RetiredInsts))
+	ex := pre.Add(&sc)
+	ex.RetiredInsts = total // the ratio is exact here; don't let rounding drift it
+	ex.HaltRetired = w.Halted()
+	res.WallSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- WallSeconds is excluded from golden tables
+	ex.WallSeconds = res.WallSeconds
+	res.Extrapolated = &ex
+	return res, nil
+}
+
+// runInterval simulates one detailed interval from its checkpoint:
+// transplant architectural and warmed state, optional extra functional
+// warm, unmeasured ramp, measured window. The returned Stats is the
+// measured window's Delta; the machine is finished (arena released)
+// before returning.
+func runInterval(p *prog.Program, cfg core.Config, c checkpointAt, warmup, interval uint64) (Interval, core.Stats, error) {
+	iv := Interval{Start: c.start}
+	m, err := core.NewFromCheckpointWarm(p, cfg, c.ck, c.ws)
+	if err != nil {
+		return iv, core.Stats{}, err
+	}
+	defer m.Finish() //nolint:errcheck // RunUntil already surfaced runErr
+	iv.Warmed, err = m.FunctionalWarm(warmup)
+	if err != nil {
+		return iv, core.Stats{}, err
+	}
+	s, err := m.RunUntil(RampRetired)
+	if err != nil {
+		return iv, core.Stats{}, err
+	}
+	snap := *s // value snapshot before the measured window
+	iv.RampRetired = snap.RetiredInsts
+	s, err = m.RunUntil(RampRetired + interval)
+	if err != nil {
+		return iv, core.Stats{}, err
+	}
+	d := s.Delta(&snap)
+	iv.Retired, iv.Cycles = d.RetiredInsts, d.Cycles
+	if d.Cycles > 0 {
+		iv.IPC = float64(d.RetiredInsts) / float64(d.Cycles)
+	}
+	return iv, d, nil
+}
+
+// splitmix64 is the SplitMix64 mixing function over a fixed seed: the
+// deterministic pseudo-random offset sequence behind stratified window
+// placement. Not time- or state-seeded on purpose — sampled runs must be
+// reproducible for the result cache and golden tables.
+func splitmix64(j uint64) uint64 {
+	z := j*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// meanCI95 returns the sample mean and the 95% confidence half-width
+// 1.96 s/sqrt(k) (CLT; s is the k-1 sample standard deviation). One
+// sample has no spread estimate: the half-width is 0 and coverage
+// degenerates to equality, which the accuracy gate treats as suspect by
+// requiring k >= 2 separately.
+func meanCI95(xs []float64) (mean, ci float64) {
+	k := float64(len(xs))
+	if k == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= k
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(ss / (k - 1))
+	return mean, 1.96 * sd / math.Sqrt(k)
+}

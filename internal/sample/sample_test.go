@@ -1,0 +1,202 @@
+package sample
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"dmp/internal/core"
+	"dmp/internal/profile"
+	"dmp/internal/prog"
+	"dmp/internal/workload"
+)
+
+// mcfProg builds the mcf workload at scale 1 and annotates it in place
+// (the pointer-chase benchmark: memory-bound, phase-heavy — the hardest
+// of the suite for sampling, which is exactly why the tests use it).
+func mcfProg(t *testing.T) *prog.Program {
+	t.Helper()
+	w, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(workload.BuildConfig{Scale: 1})
+	if _, err := profile.Run(p, profile.DefaultOptions()); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	return p
+}
+
+func sampleCfg() core.Config {
+	cfg := core.EnhancedDMPConfig()
+	cfg.SampleMode = true
+	return cfg
+}
+
+func exactStats(t *testing.T, p *prog.Program, cfg core.Config) *core.Stats {
+	t.Helper()
+	cfg.SampleMode = false
+	cfg.SamplePeriod, cfg.SampleInterval, cfg.SampleWarmup = 0, 0, 0
+	m, err := core.New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSampledVsExact(t *testing.T) {
+	p := mcfProg(t)
+	cfg := sampleCfg()
+	ex := exactStats(t, p, cfg)
+	r, err := Run(p, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalInsts != ex.RetiredInsts {
+		t.Errorf("TotalInsts = %d, exact retired %d", r.TotalInsts, ex.RetiredInsts)
+	}
+	if r.K < 2 {
+		t.Fatalf("K = %d, want >= 2 intervals at scale 1", r.K)
+	}
+	if r.CI95 <= 0 {
+		t.Errorf("CI95 = %g, want > 0 with %d intervals", r.CI95, r.K)
+	}
+	// Sampling is an estimate, not a golden run: a loose sanity bound.
+	// The measured error at these parameters is ~6%; 15% failing means
+	// warming or extrapolation regressed structurally.
+	errPct := 100 * math.Abs(r.IPC-ex.IPC()) / ex.IPC()
+	if errPct > 15 {
+		t.Errorf("sampled IPC %.4f vs exact %.4f: |err| %.1f%% > 15%%", r.IPC, ex.IPC(), errPct)
+	}
+	if got := r.Extrapolated.RetiredInsts; got != r.TotalInsts {
+		t.Errorf("Extrapolated.RetiredInsts = %d, want %d", got, r.TotalInsts)
+	}
+	if !r.Extrapolated.HaltRetired {
+		t.Error("Extrapolated.HaltRetired = false for a run-to-halt sample")
+	}
+}
+
+// TestResultAccounting pins the bookkeeping invariants dmpobs -manifest
+// checks: interval sums, per-interval IPC consistency, monotonic starts.
+func TestResultAccounting(t *testing.T) {
+	p := mcfProg(t)
+	r, err := Run(p, sampleCfg(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != len(r.Intervals) {
+		t.Errorf("K = %d, len(Intervals) = %d", r.K, len(r.Intervals))
+	}
+	var sumR, sumC uint64
+	prev := r.PrefixRetired
+	for _, iv := range r.Intervals {
+		sumR += iv.Retired
+		sumC += iv.Cycles
+		// RunUntil drains in-flight retirement past the target, so an
+		// interval can run a few instructions long or short of the knob.
+		if diff := int64(iv.Retired) - int64(r.IntervalLen); diff < -64 || diff > 64 {
+			t.Errorf("interval %d: retired %d, want %d±64", iv.Index, iv.Retired, r.IntervalLen)
+		}
+		if want := float64(iv.Retired) / float64(iv.Cycles); iv.IPC != want {
+			t.Errorf("interval %d: IPC %g, want %g", iv.Index, iv.IPC, want)
+		}
+		if iv.Start < prev {
+			t.Errorf("interval %d: start %d before previous position %d", iv.Index, iv.Start, prev)
+		}
+		prev = iv.Start
+	}
+	if got := r.PrefixRetired + sumR; got != r.DetailedRetired {
+		t.Errorf("DetailedRetired = %d, prefix+intervals = %d", r.DetailedRetired, got)
+	}
+	if got := r.PrefixCycles + sumC; got != r.DetailedCycles {
+		t.Errorf("DetailedCycles = %d, prefix+intervals = %d", r.DetailedCycles, got)
+	}
+}
+
+// TestDeterministic pins that two sampled runs are identical modulo wall
+// clock — required for the result cache and the golden sampling table.
+// The manifest carries every deterministic field.
+func TestDeterministic(t *testing.T) {
+	p := mcfProg(t)
+	a, err := Run(p, sampleCfg(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, sampleCfg(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a.Manifest())
+	jb, _ := json.Marshal(b.Manifest())
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("two sampled runs differ:\n%s\n%s", ja, jb)
+	}
+	sa, sb := *a.Extrapolated, *b.Extrapolated
+	sa.WallSeconds, sb.WallSeconds = 0, 0
+	if sa != sb {
+		t.Errorf("extrapolated Stats differ modulo WallSeconds:\n%+v\n%+v", sa, sb)
+	}
+}
+
+// TestSharedSlots pins that results do not depend on interval scheduling:
+// a shared worker pool (concurrent intervals) and the private pool give
+// byte-identical manifests.
+func TestSharedSlots(t *testing.T) {
+	p := mcfProg(t)
+	a, err := Run(p, sampleCfg(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := make(chan struct{}, 4)
+	b, err := Run(p, sampleCfg(), Options{Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a.Manifest())
+	jb, _ := json.Marshal(b.Manifest())
+	if !bytes.Equal(ja, jb) {
+		t.Error("shared-pool run differs from private-pool run")
+	}
+	if len(slots) != 0 {
+		t.Errorf("%d slots leaked", len(slots))
+	}
+}
+
+func TestMaxInstsTruncates(t *testing.T) {
+	p := mcfProg(t)
+	cfg := sampleCfg()
+	cfg.MaxInsts = 20_000
+	r, err := Run(p, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalInsts != cfg.MaxInsts {
+		t.Errorf("TotalInsts = %d, want MaxInsts %d", r.TotalInsts, cfg.MaxInsts)
+	}
+	if r.Extrapolated.HaltRetired {
+		t.Error("HaltRetired = true on a truncated run")
+	}
+}
+
+func TestTooShortProgram(t *testing.T) {
+	p := prog.MustAssemble(`
+        li r1, 3
+loop:   subi r1, r1, 1
+        br.gt r1, zero, loop
+        halt`)
+	if _, err := Run(p, sampleCfg(), Options{}); err == nil {
+		t.Fatal("sampling a 8-instruction program succeeded; want too-short error")
+	}
+}
+
+func TestSampleModeRequired(t *testing.T) {
+	cfg := core.EnhancedDMPConfig()
+	if _, err := Run(mcfProg(t), cfg, Options{}); err == nil {
+		t.Fatal("Run without SampleMode succeeded; want error")
+	}
+}

@@ -24,6 +24,7 @@ var Nondeterminism = &Analyzer{
 		"dmp/internal/core",
 		"dmp/internal/emu",
 		"dmp/internal/exp",
+		"dmp/internal/sample",
 	},
 	Run: runNondeterminism,
 }
