@@ -15,9 +15,11 @@
 // IPC error, CI coverage, host speedup) to a file; -sample-gate N makes
 // the process fail unless every benchmark's |IPC error| is at most N
 // percent and its 95% confidence interval covers the exact IPC — the CI
-// accuracy gate. -sample-period/-sample-interval/-sample-warmup override
-// the sampling parameters (0 = defaults). All four require the sampling
-// experiment to be among the requested ids.
+// accuracy gate. -sample-period/-sample-interval/-sample-warmup/
+// -sample-warm-mode override the sampling parameters; with none of them
+// set, each benchmark runs at its own validated operating point (see
+// internal/exp benchPoints). All of them require the sampling experiment
+// to be among the requested ids.
 //
 // All requested experiments generate concurrently: the process-wide
 // result cache in internal/exp simulates each unique (benchmark, config,
@@ -66,6 +68,7 @@ func main() {
 		samplePer  = flag.Uint64("sample-period", 0, "sampling experiment: instructions per period (0 = default)")
 		sampleIvl  = flag.Uint64("sample-interval", 0, "sampling experiment: retired instructions per detailed interval (0 = default)")
 		sampleWarm = flag.Uint64("sample-warmup", 0, "sampling experiment: extra per-interval warmup instructions")
+		sampleWM   = flag.String("sample-warm-mode", "", "sampling experiment: warm mode (full or caches; default per-benchmark)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a host heap profile to this file at exit")
@@ -97,6 +100,7 @@ func main() {
 	opts.SamplePeriod = *samplePer
 	opts.SampleInterval = *sampleIvl
 	opts.SampleWarmup = *sampleWarm
+	opts.SampleWarmMode = *sampleWM
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -116,7 +120,7 @@ func main() {
 	for _, id := range ids {
 		wantSampling = wantSampling || id == "sampling"
 	}
-	if !wantSampling && (*sampleJSON != "" || *sampleGate != 0 || *samplePer != 0 || *sampleIvl != 0 || *sampleWarm != 0) {
+	if !wantSampling && (*sampleJSON != "" || *sampleGate != 0 || *samplePer != 0 || *sampleIvl != 0 || *sampleWarm != 0 || *sampleWM != "") {
 		fmt.Fprintln(os.Stderr, "dmpexp: -sample-* flags need the sampling experiment among the requested ids")
 		exit(2)
 	}

@@ -23,8 +23,12 @@
 // continuous functional-warming pass, and short detailed intervals whose
 // measurements extrapolate the full run with a 95% confidence interval.
 // -sample-period/-sample-interval/-sample-warmup override the default
-// parameters (and require -sample); -sample-manifest records the
-// per-interval accounting as JSON for dmpobs -manifest to validate.
+// parameters (and require -sample); -warm-mode caches restricts the
+// continuous warming pass to the cache hierarchy (predictors retrain per
+// interval via -sample-warmup — cheaper warming, pair it with a nonzero
+// warmup); -sample-manifest records the per-interval accounting as JSON
+// for dmpobs -manifest to validate. The summary includes a host time
+// breakdown (prefix/warming/snapshot/detailed/extrapolate).
 //
 // Observability (see internal/obs): -pipetrace writes a per-uop
 // pipeline trace (Chrome trace_event JSON for Perfetto when the file
@@ -77,6 +81,7 @@ func main() {
 		samplePer   = flag.Uint64("sample-period", 0, "instructions per sampling period (0 = default; needs -sample)")
 		sampleIvl   = flag.Uint64("sample-interval", 0, "retired instructions measured per detailed interval (0 = default; needs -sample)")
 		sampleWarm  = flag.Uint64("sample-warmup", 0, "extra per-interval functional warmup instructions (needs -sample)")
+		warmMode    = flag.String("warm-mode", "", "functional warming mode: full (default) or caches — caches-only warming retrains predictors per interval via -sample-warmup (needs -sample)")
 		sampleManif = flag.String("sample-manifest", "", "write the sampled run's interval manifest (JSON) to this file (needs -sample)")
 
 		doLint = flag.Bool("lint", false, "statically check the program and annotations, print findings, and exit")
@@ -137,7 +142,7 @@ func main() {
 	if err := setCFMSource(&cfg, *cfmSrc, *mergeTbl); err != nil {
 		fatal("%v", err)
 	}
-	if err := setSampling(&cfg, *doSample, *samplePer, *sampleIvl, *sampleWarm, *sampleManif); err != nil {
+	if err := setSampling(&cfg, *doSample, *samplePer, *sampleIvl, *sampleWarm, *warmMode, *sampleManif); err != nil {
 		fatal("%v", err)
 	}
 
@@ -294,31 +299,52 @@ func main() {
 
 // setSampling validates and applies the -sample* flags. Split out of
 // main so the flag-rejection contract is testable.
-func setSampling(cfg *core.Config, on bool, period, interval, warmup uint64, manifest string) error {
+func setSampling(cfg *core.Config, on bool, period, interval, warmup uint64, warmMode, manifest string) error {
 	if !on {
-		if period != 0 || interval != 0 || warmup != 0 || manifest != "" {
-			return fmt.Errorf("-sample-period, -sample-interval, -sample-warmup and -sample-manifest need -sample")
+		if period != 0 || interval != 0 || warmup != 0 || warmMode != "" || manifest != "" {
+			return fmt.Errorf("-sample-period, -sample-interval, -sample-warmup, -warm-mode and -sample-manifest need -sample")
 		}
 		return nil
 	}
 	if interval != 0 && period != 0 && interval >= period {
 		return fmt.Errorf("-sample-interval %d must be smaller than -sample-period %d", interval, period)
 	}
-	cfg.SampleMode = true
-	cfg.SamplePeriod = period
-	cfg.SampleInterval = interval
-	cfg.SampleWarmup = warmup
+	n := *cfg
+	n.SampleMode = true
+	n.SamplePeriod = period
+	n.SampleInterval = interval
+	n.SampleWarmup = warmup
+	n.WarmMode = warmMode
+	if err := n.Validate(); err != nil {
+		return err // e.g. an unknown -warm-mode; leave cfg untouched
+	}
+	*cfg = n
 	return nil
 }
 
 // printSampled renders the sampling-specific summary: what was measured,
-// what was extrapolated, and how tight the estimate is.
+// what was extrapolated, how tight the estimate is, and where the host
+// time went (the breakdown is wall-clock dependent; everything else is
+// deterministic).
 func printSampled(r *sample.Result) {
 	fmt.Printf("sampled run       %12d insts: prefix %d exact, %d intervals of ~%d (detailed %.1f%%), period %d, warmup %d, ramp %d\n",
 		r.TotalInsts, r.PrefixRetired, r.K, r.IntervalLen,
 		100*float64(r.DetailedRetired)/float64(r.TotalInsts), r.Period, r.Warmup, r.Ramp)
 	fmt.Printf("IPC estimate      %12.3f ± %.3f (95%% CI over %d intervals; interval mean %.3f)\n",
 		r.IPC, r.CI95, r.K, r.IPCMean)
+	tm := r.Timing
+	fmt.Printf("time breakdown    %12s prefix %.0f%%, warming %.0f%%, snapshot %.0f%%, detailed %.0f%%, extrapolate %.0f%% of %.3fs wall\n",
+		"", pct(tm.PrefixSeconds, r.WallSeconds), pct(tm.WarmSeconds, r.WallSeconds),
+		pct(tm.SnapshotSeconds, r.WallSeconds), pct(tm.DetailedSeconds, r.WallSeconds),
+		pct(tm.ExtrapolateSeconds, r.WallSeconds), r.WallSeconds)
+}
+
+// pct is a safe percentage: 0 when the denominator is 0.
+func pct(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return 100 * num / den
 }
 
 // printHostThroughput reports how fast the simulation ran relative to the

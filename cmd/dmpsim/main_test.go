@@ -77,22 +77,25 @@ func TestSetSampling(t *testing.T) {
 		name                     string
 		on                       bool
 		period, interval, warmup uint64
-		manifest                 string
+		warmMode, manifest       string
 		wantErr                  string
 	}{
 		{name: "off-default", on: false},
 		{name: "on-default", on: true},
 		{name: "on-custom", on: true, period: 4000, interval: 500, warmup: 100},
+		{name: "on-caches", on: true, warmup: 512, warmMode: "caches"},
 		{name: "period-without-sample", period: 4000, wantErr: "need -sample"},
 		{name: "interval-without-sample", interval: 500, wantErr: "need -sample"},
 		{name: "warmup-without-sample", warmup: 10, wantErr: "need -sample"},
+		{name: "warm-mode-without-sample", warmMode: "caches", wantErr: "need -sample"},
 		{name: "manifest-without-sample", manifest: "m.json", wantErr: "need -sample"},
 		{name: "interval-ge-period", on: true, period: 500, interval: 500, wantErr: "must be smaller"},
+		{name: "unknown-warm-mode", on: true, warmMode: "none", wantErr: "warm mode"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := core.EnhancedDMPConfig()
-			err := setSampling(&cfg, tc.on, tc.period, tc.interval, tc.warmup, tc.manifest)
+			err := setSampling(&cfg, tc.on, tc.period, tc.interval, tc.warmup, tc.warmMode, tc.manifest)
 			if tc.wantErr != "" {
 				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
@@ -111,6 +114,9 @@ func TestSetSampling(t *testing.T) {
 			if cfg.SamplePeriod != tc.period || cfg.SampleInterval != tc.interval || cfg.SampleWarmup != tc.warmup {
 				t.Errorf("got %d/%d/%d, want %d/%d/%d", cfg.SamplePeriod,
 					cfg.SampleInterval, cfg.SampleWarmup, tc.period, tc.interval, tc.warmup)
+			}
+			if cfg.WarmMode != tc.warmMode {
+				t.Errorf("WarmMode = %q, want %q", cfg.WarmMode, tc.warmMode)
 			}
 			if err := cfg.Validate(); err != nil {
 				t.Errorf("applied config fails Validate: %v", err)

@@ -14,6 +14,8 @@
 // (Section 2.3).
 package bpred
 
+import "dmp/internal/cow"
+
 // GHR is a global history register of up to 64 branch outcomes; bit 0 is
 // the most recent branch (1 = taken).
 type GHR uint64
@@ -60,9 +62,11 @@ type DirPredictor interface {
 // Perceptron is the perceptron predictor: a table of weight vectors
 // indexed by PC; the prediction is the sign of the dot product of the
 // weights with the (bipolar) history, plus a bias weight. Training
-// applies the standard threshold rule at retirement.
+// applies the standard threshold rule at retirement. Weight rows live in
+// a copy-on-write table so sampled simulation snapshots the trained
+// state in O(rows-metadata) (see internal/cow).
 type Perceptron struct {
-	weights [][]int16
+	weights cow.Table[int16]
 	hbits   int
 	theta   int32
 }
@@ -85,18 +89,15 @@ func NewPerceptron(cfg PerceptronConfig) *Perceptron {
 	if cfg.Entries <= 0 || cfg.HistoryBits <= 0 || cfg.HistoryBits > 63 {
 		panic("bpred: bad perceptron config")
 	}
-	w := make([][]int16, cfg.Entries)
-	for i := range w {
-		w[i] = make([]int16, cfg.HistoryBits+1) // +1 bias weight
-	}
 	// Optimal threshold from Jiménez & Lin: 1.93*h + 14.
-	return &Perceptron{weights: w, hbits: cfg.HistoryBits, theta: int32(1.93*float64(cfg.HistoryBits) + 14)}
+	return &Perceptron{weights: cow.NewTable[int16](cfg.Entries, cfg.HistoryBits+1), // +1 bias weight
+		hbits: cfg.HistoryBits, theta: int32(1.93*float64(cfg.HistoryBits) + 14)}
 }
 
-func (p *Perceptron) index(pc uint64) int { return int(pc % uint64(len(p.weights))) }
+func (p *Perceptron) index(pc uint64) int { return int(pc % uint64(p.weights.Len())) }
 
 func (p *Perceptron) output(pc uint64, hist GHR) int32 {
-	w := p.weights[p.index(pc)]
+	w := p.weights.RO(p.index(pc))
 	y := int32(w[0]) // bias
 	for i := 0; i < p.hbits; i++ {
 		if hist>>uint(i)&1 == 1 {
@@ -125,7 +126,7 @@ func (p *Perceptron) Update(pc uint64, hist GHR, taken bool) {
 	if pred == taken && mag > p.theta {
 		return
 	}
-	w := p.weights[p.index(pc)]
+	w := p.weights.Mut(p.index(pc))
 	t := int16(-1)
 	if taken {
 		t = 1
@@ -143,13 +144,11 @@ func (p *Perceptron) Update(pc uint64, hist GHR, taken bool) {
 func (p *Perceptron) HistoryBits() int { return p.hbits }
 func (p *Perceptron) Name() string     { return "perceptron" }
 
-// Clone deep-copies the predictor's trained weights.
+// Clone snapshots the predictor's trained weights copy-on-write: rows
+// are frozen and shared, and each instance privately re-copies a row on
+// its first subsequent update to it.
 func (p *Perceptron) Clone() *Perceptron {
-	w := make([][]int16, len(p.weights))
-	for i := range w {
-		w[i] = append([]int16(nil), p.weights[i]...)
-	}
-	return &Perceptron{weights: w, hbits: p.hbits, theta: p.theta}
+	return &Perceptron{weights: p.weights.Clone(), hbits: p.hbits, theta: p.theta}
 }
 
 // satAdd adds with saturation at int8 range; 8-bit weights are the
@@ -187,9 +186,10 @@ func (c counter) update(taken bool) counter {
 // --- GShare ---
 
 // GShare is a gshare predictor: a table of 2-bit counters indexed by
-// PC xor history.
+// PC xor history. The counter table is chunked copy-on-write
+// (internal/cow) so sampled-simulation snapshots are O(metadata).
 type GShare struct {
-	table []counter
+	table cow.Flat[counter]
 	hbits int
 	mask  uint64
 }
@@ -200,9 +200,9 @@ func NewGShare(logSize, hbits int) *GShare {
 	if logSize <= 0 || logSize > 30 || hbits < 0 || hbits > logSize {
 		panic("bpred: bad gshare config")
 	}
-	g := &GShare{table: make([]counter, 1<<logSize), hbits: hbits, mask: 1<<logSize - 1}
-	for i := range g.table {
-		g.table[i] = 2 // weakly taken
+	g := &GShare{table: cow.NewFlat[counter](1 << logSize), hbits: hbits, mask: 1<<logSize - 1}
+	for i := 0; i < g.table.Len(); i++ {
+		*g.table.Mut(i) = 2 // weakly taken
 	}
 	return g
 }
@@ -213,27 +213,28 @@ func (g *GShare) index(pc uint64, hist GHR) uint64 {
 }
 
 func (g *GShare) Predict(pc uint64, hist GHR) bool {
-	return g.table[g.index(pc, hist)].taken()
+	return g.table.At(int(g.index(pc, hist))).taken()
 }
 
 func (g *GShare) Update(pc uint64, hist GHR, taken bool) {
-	i := g.index(pc, hist)
-	g.table[i] = g.table[i].update(taken)
+	c := g.table.Mut(int(g.index(pc, hist)))
+	*c = c.update(taken)
 }
 
 func (g *GShare) HistoryBits() int { return g.hbits }
 func (g *GShare) Name() string     { return "gshare" }
 
-// Clone deep-copies the counter table.
+// Clone snapshots the counter table copy-on-write.
 func (g *GShare) Clone() *GShare {
-	return &GShare{table: append([]counter(nil), g.table...), hbits: g.hbits, mask: g.mask}
+	return &GShare{table: g.table.Clone(), hbits: g.hbits, mask: g.mask}
 }
 
 // --- Bimodal ---
 
-// Bimodal is a PC-indexed table of 2-bit counters.
+// Bimodal is a PC-indexed table of 2-bit counters (chunked copy-on-write
+// like GShare's).
 type Bimodal struct {
-	table []counter
+	table cow.Flat[counter]
 	mask  uint64
 }
 
@@ -242,26 +243,26 @@ func NewBimodal(logSize int) *Bimodal {
 	if logSize <= 0 || logSize > 30 {
 		panic("bpred: bad bimodal config")
 	}
-	b := &Bimodal{table: make([]counter, 1<<logSize), mask: 1<<logSize - 1}
-	for i := range b.table {
-		b.table[i] = 2
+	b := &Bimodal{table: cow.NewFlat[counter](1 << logSize), mask: 1<<logSize - 1}
+	for i := 0; i < b.table.Len(); i++ {
+		*b.table.Mut(i) = 2
 	}
 	return b
 }
 
-func (b *Bimodal) Predict(pc uint64, _ GHR) bool { return b.table[pc&b.mask].taken() }
+func (b *Bimodal) Predict(pc uint64, _ GHR) bool { return b.table.At(int(pc & b.mask)).taken() }
 
 func (b *Bimodal) Update(pc uint64, _ GHR, taken bool) {
-	i := pc & b.mask
-	b.table[i] = b.table[i].update(taken)
+	c := b.table.Mut(int(pc & b.mask))
+	*c = c.update(taken)
 }
 
 func (b *Bimodal) HistoryBits() int { return 0 }
 func (b *Bimodal) Name() string     { return "bimodal" }
 
-// Clone deep-copies the counter table.
+// Clone snapshots the counter table copy-on-write.
 func (b *Bimodal) Clone() *Bimodal {
-	return &Bimodal{table: append([]counter(nil), b.table...), mask: b.mask}
+	return &Bimodal{table: b.table.Clone(), mask: b.mask}
 }
 
 // --- Hybrid (gshare + bimodal with a chooser) ---
@@ -273,7 +274,7 @@ func (b *Bimodal) Clone() *Bimodal {
 type Hybrid struct {
 	g       *GShare
 	b       *Bimodal
-	chooser []counter
+	chooser cow.Flat[counter]
 	mask    uint64
 }
 
@@ -283,17 +284,17 @@ func NewHybrid(logSize, hbits int) *Hybrid {
 	h := &Hybrid{
 		g:       NewGShare(logSize, hbits),
 		b:       NewBimodal(logSize),
-		chooser: make([]counter, 1<<logSize),
+		chooser: cow.NewFlat[counter](1 << logSize),
 		mask:    1<<logSize - 1,
 	}
-	for i := range h.chooser {
-		h.chooser[i] = 2 // weakly prefer gshare
+	for i := 0; i < h.chooser.Len(); i++ {
+		*h.chooser.Mut(i) = 2 // weakly prefer gshare
 	}
 	return h
 }
 
 func (h *Hybrid) Predict(pc uint64, hist GHR) bool {
-	if h.chooser[pc&h.mask].taken() {
+	if h.chooser.At(int(pc & h.mask)).taken() {
 		return h.g.Predict(pc, hist)
 	}
 	return h.b.Predict(pc, hist)
@@ -303,8 +304,8 @@ func (h *Hybrid) Update(pc uint64, hist GHR, taken bool) {
 	gp := h.g.Predict(pc, hist)
 	bp := h.b.Predict(pc, hist)
 	if gp != bp {
-		i := pc & h.mask
-		h.chooser[i] = h.chooser[i].update(gp == taken)
+		c := h.chooser.Mut(int(pc & h.mask))
+		*c = c.update(gp == taken)
 	}
 	h.g.Update(pc, hist, taken)
 	h.b.Update(pc, hist, taken)
@@ -313,16 +314,16 @@ func (h *Hybrid) Update(pc uint64, hist GHR, taken bool) {
 func (h *Hybrid) HistoryBits() int { return h.g.HistoryBits() }
 func (h *Hybrid) Name() string     { return "hybrid" }
 
-// Clone deep-copies both components and the chooser.
+// Clone snapshots both components and the chooser copy-on-write.
 func (h *Hybrid) Clone() *Hybrid {
-	return &Hybrid{g: h.g.Clone(), b: h.b.Clone(),
-		chooser: append([]counter(nil), h.chooser...), mask: h.mask}
+	return &Hybrid{g: h.g.Clone(), b: h.b.Clone(), chooser: h.chooser.Clone(), mask: h.mask}
 }
 
-// CloneDir deep-copies a direction predictor's trained state. Sampled
-// simulation warms one predictor continuously during functional
-// fast-forward and clones it per checkpoint. Stateless predictors
-// (StaticTaken, StaticNotTaken) are returned as-is.
+// CloneDir snapshots a direction predictor's trained state
+// (copy-on-write; the copies stay isolated). Sampled simulation warms
+// one predictor continuously during functional fast-forward and clones
+// it per checkpoint. Stateless predictors (StaticTaken, StaticNotTaken)
+// are returned as-is.
 func CloneDir(p DirPredictor) DirPredictor {
 	switch v := p.(type) {
 	case *Perceptron:

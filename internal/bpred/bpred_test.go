@@ -124,7 +124,7 @@ func TestPerceptronSaturation(t *testing.T) {
 	if !p.Predict(0, 0) {
 		t.Error("saturated perceptron flipped prediction")
 	}
-	for _, w := range p.weights[0] {
+	for _, w := range p.weights.RO(0) {
 		if w > 127 || w < -128 {
 			t.Fatalf("weight %d out of int8 range", w)
 		}

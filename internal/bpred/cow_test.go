@@ -1,0 +1,84 @@
+package bpred
+
+import "testing"
+
+// COW isolation pins: after Clone, training either copy must not leak
+// into the other, in either direction. One test per cloned structure
+// (mirrors core's TestSnapshotIsolatesWarmState at the component level).
+
+func TestDirPredictorCloneIsolation(t *testing.T) {
+	preds := []DirPredictor{
+		NewPerceptron(DefaultPerceptronConfig()),
+		NewGShare(10, 8),
+		NewBimodal(10),
+		NewHybrid(10, 8),
+	}
+	for _, p := range preds {
+		t.Run(p.Name(), func(t *testing.T) {
+			const pc, hist = 0x40, GHR(0b1011)
+			for i := 0; i < 64; i++ {
+				p.Update(pc, hist, true)
+			}
+			cl := CloneDir(p)
+			// Re-train the original the other way; the clone keeps taken.
+			for i := 0; i < 256; i++ {
+				p.Update(pc, hist, false)
+			}
+			if !cl.Predict(pc, hist) {
+				t.Error("re-training the original flipped the clone")
+			}
+			// And the reverse: flip the clone; the original stays.
+			for i := 0; i < 256; i++ {
+				cl.Update(pc, hist, true)
+			}
+			if p.Predict(pc, hist) {
+				t.Error("re-training the clone flipped the original")
+			}
+		})
+	}
+}
+
+func TestBTBCloneIsolation(t *testing.T) {
+	b := NewBTB(64, 4)
+	b.Insert(0x40, 0x100)
+	cl := b.Clone()
+	cl.Insert(0x40, 0x200) // retarget in the clone only
+	if tgt, ok := b.Lookup(0x40); !ok || tgt != 0x100 {
+		t.Errorf("original BTB entry = %#x,%v; clone insert leaked", tgt, ok)
+	}
+	b.Insert(0x80, 0x300) // new entry in the original only
+	if _, ok := cl.Lookup(0x80); ok {
+		t.Error("original's later insert visible in the clone")
+	}
+	if tgt, ok := cl.Lookup(0x40); !ok || tgt != 0x200 {
+		t.Errorf("clone BTB entry = %#x,%v, want 0x200", tgt, ok)
+	}
+}
+
+func TestBTBLookupMissDoesNotUnshare(t *testing.T) {
+	// A BTB miss must not force a COW set copy: misses dominate on cold
+	// sets and copying per miss would defeat the snapshot.
+	b := NewBTB(64, 4)
+	b.Insert(0x40, 0x100)
+	cl := b.Clone()
+	allocs := testing.AllocsPerRun(100, func() {
+		cl.Lookup(0x9999) // miss: different set, never inserted
+	})
+	if allocs != 0 {
+		t.Errorf("BTB miss allocates %v objects; misses must not unshare", allocs)
+	}
+}
+
+func TestITCCloneIsolation(t *testing.T) {
+	c := NewITC(8)
+	c.Update(0x40, 3, 0x500)
+	cl := c.Clone()
+	cl.Update(0x40, 3, 0x600)
+	if tgt := c.Lookup(0x40, 3); tgt != 0x500 {
+		t.Errorf("original ITC entry = %#x; clone update leaked", tgt)
+	}
+	c.Update(0x44, 9, 0x700)
+	if tgt := cl.Lookup(0x44, 9); tgt != 0 {
+		t.Errorf("original's later update visible in the clone: %#x", tgt)
+	}
+}

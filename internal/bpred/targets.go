@@ -1,5 +1,7 @@
 package bpred
 
+import "dmp/internal/cow"
+
 // BTB is the branch target buffer: a set-associative cache of branch
 // target addresses, indexed by PC. The front end consults it to find
 // where control-flow instructions go before they are decoded; for this
@@ -8,7 +10,7 @@ package bpred
 // BTB" fetch break and to supply targets for indirect jumps via the
 // indirect target cache.
 type BTB struct {
-	sets    [][]btbEntry
+	sets    cow.Table[btbEntry]
 	assoc   int
 	setMask uint64
 	setSh   uint
@@ -39,23 +41,23 @@ func NewBTB(entries, assoc int) *BTB {
 	for 1<<sh != nsets {
 		sh++
 	}
-	b := &BTB{sets: make([][]btbEntry, nsets), assoc: assoc, setMask: uint64(nsets - 1), setSh: sh}
-	for i := range b.sets {
-		b.sets[i] = make([]btbEntry, assoc)
-	}
-	return b
+	return &BTB{sets: cow.NewTable[btbEntry](nsets, assoc), assoc: assoc,
+		setMask: uint64(nsets - 1), setSh: sh}
 }
 
 // Lookup returns the predicted target for the branch at pc and whether
 // the BTB hits.
 func (b *BTB) Lookup(pc uint64) (uint64, bool) {
-	set := b.sets[pc&b.setMask]
+	// Scan read-only; only a hit writes (its LRU stamp), so misses never
+	// force a COW set copy.
+	set := b.sets.RO(int(pc & b.setMask))
 	tag := pc >> b.setSh
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			b.clock++
-			set[i].lru = b.clock
-			return set[i].target, true
+			ms := b.sets.Mut(int(pc & b.setMask))
+			ms[i].lru = b.clock
+			return ms[i].target, true
 		}
 	}
 	return 0, false
@@ -63,7 +65,7 @@ func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 
 // Insert records a branch target, evicting LRU on conflict.
 func (b *BTB) Insert(pc, target uint64) {
-	set := b.sets[pc&b.setMask]
+	set := b.sets.Mut(int(pc & b.setMask))
 	tag := pc >> b.setSh
 	victim := 0
 	for i := range set {
@@ -154,9 +156,11 @@ type RASState struct {
 
 // ITC is the indirect target cache: a direct-mapped table of last-seen
 // targets for indirect jumps/calls, indexed by PC xor history (paper:
-// 64K entries).
+// 64K entries). The table is chunked copy-on-write: at 64K × 8B it is
+// the largest predictor table, and most workloads touch a handful of
+// chunks, so COW snapshots pay almost nothing for it.
 type ITC struct {
-	table []uint64
+	table cow.Flat[uint64]
 	mask  uint64
 }
 
@@ -165,7 +169,7 @@ func NewITC(logSize int) *ITC {
 	if logSize <= 0 || logSize > 26 {
 		panic("bpred: bad ITC size")
 	}
-	return &ITC{table: make([]uint64, 1<<logSize), mask: 1<<logSize - 1}
+	return &ITC{table: cow.NewFlat[uint64](1 << logSize), mask: 1<<logSize - 1}
 }
 
 func (t *ITC) index(pc uint64, hist GHR) uint64 {
@@ -174,22 +178,19 @@ func (t *ITC) index(pc uint64, hist GHR) uint64 {
 
 // Lookup predicts the target of the indirect branch at pc.
 func (t *ITC) Lookup(pc uint64, hist GHR) uint64 {
-	return t.table[t.index(pc, hist)]
+	return t.table.At(int(t.index(pc, hist)))
 }
 
 // Update records the resolved target.
 func (t *ITC) Update(pc uint64, hist GHR, target uint64) {
-	t.table[t.index(pc, hist)] = target
+	*t.table.Mut(int(t.index(pc, hist))) = target
 }
 
-// Clone deep-copies the BTB's tag and target state.
+// Clone snapshots the BTB's tag and target state copy-on-write.
 func (b *BTB) Clone() *BTB {
-	n := &BTB{sets: make([][]btbEntry, len(b.sets)), assoc: b.assoc,
-		setMask: b.setMask, setSh: b.setSh, clock: b.clock}
-	for i := range b.sets {
-		n.sets[i] = append([]btbEntry(nil), b.sets[i]...)
-	}
-	return n
+	n := *b
+	n.sets = b.sets.Clone()
+	return &n
 }
 
 // Clone deep-copies the return address stack.
@@ -197,7 +198,7 @@ func (r *RAS) Clone() *RAS {
 	return &RAS{stack: append([]uint64(nil), r.stack...), top: r.top, count: r.count}
 }
 
-// Clone deep-copies the indirect target cache.
+// Clone snapshots the indirect target cache copy-on-write.
 func (t *ITC) Clone() *ITC {
-	return &ITC{table: append([]uint64(nil), t.table...), mask: t.mask}
+	return &ITC{table: t.table.Clone(), mask: t.mask}
 }

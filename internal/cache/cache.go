@@ -12,6 +12,8 @@
 // store buffer.
 package cache
 
+import "dmp/internal/cow"
+
 // Config describes one cache level.
 type Config struct {
 	SizeBytes int
@@ -20,10 +22,14 @@ type Config struct {
 	Latency   int // hit latency in cycles
 }
 
-// Cache is one set-associative, LRU, timing-only cache level.
+// Cache is one set-associative, LRU, timing-only cache level. Sets live
+// in a copy-on-write table (internal/cow) so sampled simulation can
+// snapshot a continuously warmed cache in O(sets-metadata): Clone
+// freezes the current tag state, and each side privately re-copies only
+// the sets it touches afterwards.
 type Cache struct {
 	cfg     Config
-	sets    [][]line
+	sets    cow.Table[line]
 	setMask uint64
 	lineSh  uint
 	setSh   uint
@@ -59,17 +65,16 @@ func New(cfg Config) *Cache {
 	for 1<<setSh != nsets {
 		setSh++
 	}
-	c := &Cache{cfg: cfg, sets: make([][]line, nsets), setMask: uint64(nsets - 1), lineSh: sh, setSh: setSh}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
-	}
-	return c
+	return &Cache{cfg: cfg, sets: cow.NewTable[line](nsets, cfg.Assoc),
+		setMask: uint64(nsets - 1), lineSh: sh, setSh: setSh}
 }
 
 // Access looks up addr, fills on miss, and reports whether it hit.
 func (c *Cache) Access(addr uint64) bool {
 	lineAddr := addr >> c.lineSh
-	set := c.sets[lineAddr&c.setMask]
+	// Every access writes the set (LRU stamp on hit, fill on miss), so
+	// take it mutable up front; the COW fast path is one compare.
+	set := c.sets.Mut(int(lineAddr & c.setMask))
 	tag := lineAddr >> c.setSh
 	c.clock++
 	for i := range set {
@@ -97,27 +102,18 @@ func (c *Cache) Access(addr uint64) bool {
 // Latency returns the hit latency.
 func (c *Cache) Latency() int { return c.cfg.Latency }
 
-// Clone deep-copies the cache: tag state, LRU clock and counters. Sampled
-// simulation warms one hierarchy continuously during functional
-// fast-forward and clones it per checkpoint so every detailed interval
-// starts with the long-reuse-distance cache state an exact run would have.
+// Clone snapshots the cache copy-on-write: tag state is frozen and
+// shared (cow.Table.Clone — O(sets) header copies, no line copies), LRU
+// clock and counters are copied by value. Sampled simulation warms one
+// hierarchy continuously during functional fast-forward and clones it
+// per checkpoint so every detailed interval starts with the
+// long-reuse-distance cache state an exact run would have; both the
+// warmer and the interval machine keep training their instance, each
+// privately re-copying only the sets it touches.
 func (c *Cache) Clone() *Cache {
-	n := &Cache{cfg: c.cfg, sets: make([][]line, len(c.sets)), setMask: c.setMask,
-		lineSh: c.lineSh, setSh: c.setSh, clock: c.clock, Hits: c.Hits, Misses: c.Misses}
-	// All sets share one backing array (uniform associativity): a sampled
-	// run clones the hierarchy once per checkpoint, and one flat copy
-	// beats thousands of per-set allocations.
-	total := 0
-	for _, s := range c.sets {
-		total += len(s)
-	}
-	flat := make([]line, 0, total)
-	for i, s := range c.sets {
-		off := len(flat)
-		flat = append(flat, s...)
-		n.sets[i] = flat[off:len(flat):len(flat)]
-	}
-	return n
+	n := *c
+	n.sets = c.sets.Clone()
+	return &n
 }
 
 // Hierarchy bundles L1I, L1D, L2 and memory into the lookup functions the

@@ -12,7 +12,10 @@
 // diverge-perf-conf configuration.
 package conf
 
-import "dmp/internal/bpred"
+import (
+	"dmp/internal/bpred"
+	"dmp/internal/cow"
+)
 
 // Estimator estimates confidence in a conditional branch prediction.
 //
@@ -30,7 +33,7 @@ type Estimator interface {
 // incorrect prediction resets it to zero. Confidence is high when the
 // counter is at or above the confident threshold.
 type JRS struct {
-	table     []uint8
+	table     cow.Flat[uint8]
 	mask      uint64
 	histBits  int
 	max       uint8
@@ -69,7 +72,7 @@ func NewJRS(cfg JRSConfig) *JRS {
 		panic("conf: bad JRS config")
 	}
 	return &JRS{
-		table:     make([]uint8, 1<<cfg.LogEntries),
+		table:     cow.NewFlat[uint8](1 << cfg.LogEntries),
 		mask:      1<<cfg.LogEntries - 1,
 		histBits:  cfg.HistBits,
 		max:       cfg.Max,
@@ -85,18 +88,18 @@ func (j *JRS) index(pc uint64, hist bpred.GHR) uint64 {
 // LowConfidence reports whether the prediction for the branch at pc
 // should be treated as low confidence.
 func (j *JRS) LowConfidence(pc uint64, hist bpred.GHR) bool {
-	return j.table[j.index(pc, hist)] < j.threshold
+	return j.table.At(int(j.index(pc, hist))) < j.threshold
 }
 
 // Update trains the estimator with the prediction outcome.
 func (j *JRS) Update(pc uint64, hist bpred.GHR, correct bool) {
-	i := j.index(pc, hist)
+	c := j.table.Mut(int(j.index(pc, hist)))
 	if correct {
-		if j.table[i] < j.max {
-			j.table[i]++
+		if *c < j.max {
+			*c++
 		}
 	} else {
-		j.table[i] = 0
+		*c = 0
 	}
 }
 
@@ -128,13 +131,14 @@ func (NeverLow) LowConfidence(uint64, bpred.GHR) bool { return false }
 func (NeverLow) Update(uint64, bpred.GHR, bool)       {}
 func (NeverLow) Name() string                         { return "never-low" }
 
-// Clone deep-copies the estimator's counter table.
+// Clone snapshots the estimator's counter table copy-on-write.
 func (j *JRS) Clone() *JRS {
-	return &JRS{table: append([]uint8(nil), j.table...), mask: j.mask,
-		histBits: j.histBits, max: j.max, threshold: j.threshold}
+	n := *j
+	n.table = j.table.Clone()
+	return &n
 }
 
-// CloneEstimator deep-copies an estimator's trained state. Sampled
+// CloneEstimator snapshots an estimator's trained state. Sampled
 // simulation warms one estimator continuously during functional
 // fast-forward and clones it per checkpoint. Stateless estimators
 // (Perfect, AlwaysLow, NeverLow) are returned as-is.

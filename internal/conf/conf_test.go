@@ -40,8 +40,8 @@ func TestJRSSaturates(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		j.Update(100, 0, true)
 	}
-	if j.table[j.index(100, 0)] != cfg.Max {
-		t.Errorf("counter = %d, want saturated %d", j.table[j.index(100, 0)], cfg.Max)
+	if got := j.table.At(int(j.index(100, 0))); got != cfg.Max {
+		t.Errorf("counter = %d, want saturated %d", got, cfg.Max)
 	}
 }
 

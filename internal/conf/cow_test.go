@@ -1,0 +1,27 @@
+package conf
+
+import "testing"
+
+// COW isolation pin: after Clone, updating either JRS copy must not leak
+// into the other (mirrors core's TestSnapshotIsolatesWarmState at the
+// component level).
+func TestJRSCloneIsolation(t *testing.T) {
+	j := NewJRS(DefaultJRSConfig())
+	for i := 0; i < 20; i++ {
+		j.Update(100, 0, true)
+	}
+	cl := j.Clone()
+	j.Update(100, 0, false) // reset the original's counter only
+	if cl.LowConfidence(100, 0) {
+		t.Error("original's reset leaked into the clone")
+	}
+	for i := 0; i < 20; i++ {
+		cl.Update(200, 0, true) // train a fresh branch in the clone only
+	}
+	if !j.LowConfidence(200, 0) {
+		t.Error("clone's training leaked into the original")
+	}
+	if !j.LowConfidence(100, 0) {
+		t.Error("original lost its own reset")
+	}
+}

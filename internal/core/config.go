@@ -145,6 +145,18 @@ type Config struct {
 	SampleInterval uint64
 	SampleWarmup   uint64
 
+	// WarmMode selects how much state the continuous functional-warming
+	// pass trains: "full" (default; caches, direction predictor,
+	// confidence estimator, BTB, RAS, ITC, merge table, plus wrong-path
+	// and episode-path cache excursions) or "caches" (cache hierarchy
+	// only — instruction fetch and load/store data — skipping predictor
+	// training and excursions). Caches-only warming is several times
+	// cheaper per instruction; the predictors then start each detailed
+	// interval cold, so it should be paired with a nonzero SampleWarmup
+	// that retrains the short-history state just before each measured
+	// window. Ignored when SampleMode is off.
+	WarmMode string
+
 	// CheckRetirement compares every retired instruction against a
 	// lockstep functional emulator (golden model). Cheap; on by default.
 	CheckRetirement bool
@@ -247,9 +259,10 @@ func DHPConfig() Config {
 //   - folds the sampling knobs to zero when SampleMode is off (an exact
 //     run never reads them) and spells out their defaults when it is on
 //     (a defaulted and an explicitly default-parameterised sampled run
-//     are the same simulation). SampleMode itself is never folded: a
-//     sampled result must never alias the exact result for the same
-//     machine configuration in the result cache;
+//     are the same simulation). WarmMode is spelled out to "full" when
+//     sampling and folded to "" otherwise. SampleMode itself is never
+//     folded: a sampled result must never alias the exact result for the
+//     same machine configuration in the result cache;
 //   - spells out the defaulted CFMSource ("" is "annotated") and folds
 //     the merge-predictor knobs for every mode but DMP (the predictor is
 //     only ever built there — DHP and dual-path run from annotations
@@ -296,8 +309,12 @@ func (c Config) Canonical() Config {
 	}
 	if c.SampleMode {
 		c.SamplePeriod, c.SampleInterval, c.SampleWarmup = c.SampleParams()
+		if c.WarmMode == "" {
+			c.WarmMode = "full"
+		}
 	} else {
 		c.SamplePeriod, c.SampleInterval, c.SampleWarmup = 0, 0, 0
+		c.WarmMode = ""
 	}
 	c.CheckRetirement = false
 	return c
@@ -338,6 +355,11 @@ func (c *Config) Validate() error {
 	}
 	if c.MergeTableSize < 0 {
 		return fmt.Errorf("core: MergeTableSize must be non-negative")
+	}
+	switch c.WarmMode {
+	case "", "full", "caches":
+	default:
+		return fmt.Errorf("core: unknown warm mode %q (want full or caches)", c.WarmMode)
 	}
 	if c.SampleMode {
 		period, interval, warmup := c.SampleParams()

@@ -173,3 +173,52 @@ func TestValidateCFMSource(t *testing.T) {
 		t.Error("Validate accepted a negative table size")
 	}
 }
+
+// TestCanonicalWarmMode pins the warm-mode folding rules: the knob
+// defaults to "full" under SampleMode (so old cache keys stay valid in
+// spirit: defaulted == explicit full), vanishes entirely when sampling
+// is off, and "caches" keys differently from "full".
+func TestCanonicalWarmMode(t *testing.T) {
+	a := EnhancedDMPConfig()
+	a.SampleMode = true
+	b := a
+	b.WarmMode = "full"
+	if a.Canonical() != b.Canonical() {
+		t.Error("defaulted warm mode keys differently from explicit full")
+	}
+	c := a
+	c.WarmMode = "caches"
+	if a.Canonical() == c.Canonical() {
+		t.Error("caches-only warm mode canonicalizes to the same key as full")
+	}
+	off := EnhancedDMPConfig()
+	offKnobbed := off
+	offKnobbed.WarmMode = "caches"
+	if off.Canonical() != offKnobbed.Canonical() {
+		t.Error("warm mode not folded away when SampleMode is off")
+	}
+	for _, cc := range []Config{a, c, offKnobbed} {
+		once := cc.Canonical()
+		if once != once.Canonical() {
+			t.Errorf("Canonical not idempotent for WarmMode %q", cc.WarmMode)
+		}
+	}
+}
+
+// TestValidateWarmMode pins the accepted warm modes.
+func TestValidateWarmMode(t *testing.T) {
+	for _, wm := range []string{"", "full", "caches"} {
+		c := EnhancedDMPConfig()
+		c.SampleMode = true
+		c.WarmMode = wm
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%q) = %v", wm, err)
+		}
+	}
+	c := EnhancedDMPConfig()
+	c.SampleMode = true
+	c.WarmMode = "none"
+	if err := c.Validate(); err == nil {
+		t.Error("Validate accepted an unknown warm mode")
+	}
+}

@@ -31,6 +31,10 @@ type WarmState struct {
 	merge       *merge.Predictor // nil unless cfg uses the runtime merge predictor
 	ghr         bpred.GHR
 	perfectConf bool
+	// cachesOnly selects the reduced warming mode (Config.WarmMode
+	// "caches"): observe trains only the cache hierarchy and skips
+	// predictor training and wrong-path/episode excursions.
+	cachesOnly bool
 
 	// Episode-entry mirror of Machine.maybeEnterDP, so warming replays
 	// the cache footprint of dynamic predication (see observe).
@@ -50,6 +54,7 @@ type WarmState struct {
 func newWarmState(cfg Config) (WarmState, error) {
 	ws := WarmState{
 		perfectConf: cfg.ConfidenceName == "perfect",
+		cachesOnly:  cfg.WarmMode == "caches",
 		mode:        cfg.Mode,
 		cfmSource:   cfg.CFMSource,
 		loopDiverge: cfg.EnableLoopDiverge,
@@ -93,8 +98,12 @@ func newWarmState(cfg Config) (WarmState, error) {
 	return ws, nil
 }
 
-// clone deep-copies every component (stateless predictors are shared;
-// they hold nothing).
+// clone snapshots every component copy-on-write (stateless predictors
+// are shared; they hold nothing). The snapshot is O(metadata): each
+// component freezes its storage and re-copies privately only what is
+// subsequently written, on whichever side writes it — so both the warmer
+// and the detailed machine the clone seeds can keep training. The RAS is
+// copied eagerly (64 words).
 func (ws *WarmState) clone() *WarmState {
 	c := &WarmState{
 		hier:        ws.hier.Clone(),
@@ -105,6 +114,7 @@ func (ws *WarmState) clone() *WarmState {
 		itc:         ws.itc.Clone(),
 		ghr:         ws.ghr,
 		perfectConf: ws.perfectConf,
+		cachesOnly:  ws.cachesOnly,
 		mode:        ws.mode,
 		cfmSource:   ws.cfmSource,
 		loopDiverge: ws.loopDiverge,
@@ -142,6 +152,16 @@ const wrongPathDepth = 256
 // exist without a pipeline.
 func (ws *WarmState) observe(em *emu.Emulator, pc uint64, st emu.Step) {
 	ws.hier.InstLatency(pc * 8)
+	if ws.cachesOnly {
+		// Reduced warming (WarmMode "caches"): only the hierarchy sees the
+		// stream. No predictor training means no mispredict signal, so
+		// wrong-path and episode excursions are skipped too; per-interval
+		// SampleWarmup is expected to rebuild the short-history state.
+		if st.IsLoad || st.IsStore {
+			ws.hier.DataLatency(st.Addr)
+		}
+		return
+	}
 	if ws.epCFMs > 0 {
 		// Inside a mirrored episode region: the machine runs one episode
 		// at a time, so further diverge branches are ignored until the
@@ -359,5 +379,7 @@ func (w *Warmer) Halted() bool { return w.em.Halted }
 // Checkpoint captures the current architectural state.
 func (w *Warmer) Checkpoint() emu.Checkpoint { return w.em.Checkpoint() }
 
-// Snapshot deep-copies the current learned state.
+// Snapshot captures the current learned state as an isolated
+// copy-on-write clone: O(metadata) cost (see WarmState.clone), with the
+// per-component data copied lazily as either side keeps training.
 func (w *Warmer) Snapshot() *WarmState { return w.ws.clone() }

@@ -1,0 +1,136 @@
+package cow
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTableIsolation(t *testing.T) {
+	a := NewTable[int](8, 4)
+	for i := 0; i < 8; i++ {
+		g := a.Mut(i)
+		for j := range g {
+			g[j] = 10*i + j
+		}
+	}
+	b := a.Clone()
+
+	// Writes on either side after the snapshot must not show on the other.
+	a.Mut(3)[0] = -1
+	b.Mut(3)[1] = -2
+	b.Mut(5)[2] = -3
+	if got := b.RO(3)[0]; got != 30 {
+		t.Errorf("clone saw parent write: b[3][0] = %d, want 30", got)
+	}
+	if got := a.RO(3)[1]; got != 31 {
+		t.Errorf("parent saw clone write: a[3][1] = %d, want 31", got)
+	}
+	if got := a.RO(5)[2]; got != 52 {
+		t.Errorf("parent saw clone write: a[5][2] = %d, want 52", got)
+	}
+	// Untouched groups read through unchanged on both sides.
+	if a.RO(7)[3] != 73 || b.RO(7)[3] != 73 {
+		t.Errorf("untouched group changed: a=%d b=%d, want 73", a.RO(7)[3], b.RO(7)[3])
+	}
+}
+
+func TestTableRepeatedClones(t *testing.T) {
+	a := NewTable[int](4, 2)
+	a.Mut(0)[0] = 1
+	var clones []Table[int]
+	for i := 0; i < 5; i++ {
+		c := a.Clone()
+		clones = append(clones, c)
+		a.Mut(0)[0] = 100 + i // dirty the parent between snapshots
+	}
+	for i := range clones {
+		want := 1
+		if i > 0 {
+			want = 100 + i - 1
+		}
+		if got := clones[i].RO(0)[0]; got != want {
+			t.Errorf("clone %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestTableCloneOfClone(t *testing.T) {
+	a := NewTable[int](2, 1)
+	a.Mut(1)[0] = 7
+	b := a.Clone()
+	c := b.Clone()
+	b.Mut(1)[0] = 8
+	if got := c.RO(1)[0]; got != 7 {
+		t.Errorf("grandchild saw child write: %d, want 7", got)
+	}
+	if got := a.RO(1)[0]; got != 7 {
+		t.Errorf("parent saw child write: %d, want 7", got)
+	}
+}
+
+// TestTableConcurrentCloneUse is the sampling handoff pattern under the
+// race detector: the parent keeps writing while each clone is read and
+// written on its own goroutine.
+func TestTableConcurrentCloneUse(t *testing.T) {
+	a := NewTable[uint64](32, 8)
+	var wg sync.WaitGroup
+	for round := 0; round < 16; round++ {
+		c := a.Clone()
+		wg.Add(1)
+		go func(c Table[uint64], round int) {
+			defer wg.Done()
+			var sum uint64
+			for i := 0; i < c.Len(); i++ {
+				g := c.Mut(i)
+				for j := range g {
+					sum += g[j]
+					g[j] = sum
+				}
+			}
+		}(c, round)
+		for i := 0; i < a.Len(); i++ {
+			a.Mut(i)[round%8]++
+		}
+	}
+	wg.Wait()
+}
+
+func TestTableCloneAllocsConstantSized(t *testing.T) {
+	a := NewTable[[3]uint64](1024, 8)
+	for i := 0; i < a.Len(); i++ {
+		a.Mut(i)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = a.Clone()
+	})
+	// Header copies only: the groups slice and the gen slice.
+	if allocs > 2 {
+		t.Errorf("Table.Clone allocates %v objects, want <= 2 (O(metadata) snapshot)", allocs)
+	}
+}
+
+func TestFlatIsolation(t *testing.T) {
+	a := NewFlat[uint8](1 << 10)
+	for i := 0; i < a.Len(); i++ {
+		*a.Mut(i) = uint8(i)
+	}
+	b := a.Clone()
+	*a.Mut(5) = 99
+	*b.Mut(600) = 42
+	if got := b.At(5); got != 5 {
+		t.Errorf("clone saw parent write: %d, want 5", got)
+	}
+	if got := a.At(600); got != uint8(600%256) {
+		t.Errorf("parent saw clone write: %d, want %d", got, uint8(600%256))
+	}
+}
+
+func TestFlatSmallerThanChunk(t *testing.T) {
+	a := NewFlat[int](16) // smaller than the default 256-element chunk
+	*a.Mut(15) = 3
+	b := a.Clone()
+	*a.Mut(15) = 4
+	if b.At(15) != 3 {
+		t.Errorf("small flat not isolated: got %d, want 3", b.At(15))
+	}
+}

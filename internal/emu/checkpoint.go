@@ -13,15 +13,17 @@ import (
 // stay valid after the emulator that produced it keeps running.
 type Checkpoint struct {
 	Regs   [isa.NumRegs]uint64
-	Mem    *Memory // private deep copy; never aliased by the source emulator
+	Mem    *Memory // private copy-on-write clone; isolated from the source emulator
 	PC     uint64
 	Count  uint64
 	Halted bool
 }
 
 // Checkpoint snapshots the emulator's current architectural state. The
-// memory is deep-copied, so the emulator may continue running (and the
-// checkpoint may outlive it) without either seeing the other's writes.
+// memory is cloned copy-on-write (Memory.Clone freezes shared pages), so
+// the emulator may continue running (and the checkpoint may outlive it)
+// without either seeing the other's writes, at O(resident pages) cost
+// instead of O(footprint).
 func (e *Emulator) Checkpoint() Checkpoint {
 	return Checkpoint{
 		Regs:   e.Regs,
@@ -33,10 +35,10 @@ func (e *Emulator) Checkpoint() Checkpoint {
 }
 
 // NewFromCheckpoint returns an emulator for p restored to ck. The
-// checkpoint's memory is cloned, so one checkpoint can seed any number
-// of emulators (the sampler seeds a machine, its fetch oracle and its
-// golden-model checker from the same checkpoint) and each write stream
-// stays independent.
+// checkpoint's memory is cloned (copy-on-write), so one checkpoint can
+// seed any number of emulators (the sampler seeds a machine, its fetch
+// oracle and its golden-model checker from the same checkpoint) and each
+// write stream stays independent.
 func NewFromCheckpoint(p *prog.Program, ck Checkpoint) *Emulator {
 	return &Emulator{
 		Prog:   p,

@@ -37,12 +37,16 @@ type Options struct {
 	// The cap is process-level, shared by every concurrently running
 	// experiment: the first run fixes the pool size (see simcache.go).
 	Parallel int
-	// SamplePeriod / SampleInterval / SampleWarmup override the sampling
-	// parameters for the sampling experiment (0 = core defaults). They
-	// affect no other experiment.
+	// SamplePeriod / SampleInterval / SampleWarmup / SampleWarmMode
+	// override the sampling parameters for the sampling experiment (zero
+	// values = per-benchmark operating points, see sampling.go). They
+	// affect no other experiment. Setting ANY of them disables the
+	// per-benchmark points for the whole run, so an explicit operating
+	// point is exactly what runs.
 	SamplePeriod   uint64
 	SampleInterval uint64
 	SampleWarmup   uint64
+	SampleWarmMode string
 }
 
 // DefaultOptions returns the standard experiment configuration.

@@ -1,0 +1,80 @@
+package merge
+
+import "testing"
+
+// COW isolation pins: Clone marks both copies shared and the first
+// Observe/Lookup on either side deep-copies (lazy unshare). Training or
+// even just looking up (LRU stamps) on one side must not leak into the
+// other (mirrors core's TestSnapshotIsolatesWarmState at the component
+// level).
+
+func newTestPredictor(t *testing.T) *Predictor {
+	t.Helper()
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func trainHammock(p *Predictor, n int) {
+	for i := 0; i < n; i++ {
+		feed(p, hammockInstance(i%2 == 0))
+	}
+}
+
+func TestPredictorCloneIsolation(t *testing.T) {
+	p := newTestPredictor(t)
+	trainHammock(p, 12)
+	pr, ok := p.Lookup(10)
+	if !ok {
+		t.Fatal("trained predictor lost its hammock entry")
+	}
+	cl := p.Clone()
+
+	// Train a second, conflicting branch in the original only — with
+	// TableSize 4 this churns entries and LRU state.
+	for i := 0; i < 12; i++ {
+		feed(p, []ev{br(100, i%2 == 0)})
+		feed(p, seq(101, 140))
+	}
+	cpr, cok := cl.Lookup(10)
+	if !cok || cpr.CFM != pr.CFM {
+		t.Errorf("original's later training leaked into the clone: %+v ok=%v, want %+v", cpr, cok, pr)
+	}
+
+	// Reverse direction: churn the clone, the original keeps its entry.
+	cl2 := p.Clone()
+	before, bok := p.Lookup(10)
+	for i := 0; i < 12; i++ {
+		feed(cl2, []ev{br(200, i%2 == 0)})
+		feed(cl2, seq(201, 240))
+	}
+	after, aok := p.Lookup(10)
+	if aok != bok || (aok && after.CFM != before.CFM) {
+		t.Errorf("clone's later training leaked into the original: %+v ok=%v, want %+v ok=%v",
+			after, aok, before, bok)
+	}
+}
+
+// TestPredictorCloneLookupUnshares pins the subtle half of the lazy COW:
+// Lookup mutates LRU stamps, so even a read-only-looking clone must
+// unshare before its first Lookup — otherwise its LRU writes would
+// corrupt the snapshot the other side holds.
+func TestPredictorCloneLookupUnshares(t *testing.T) {
+	p := newTestPredictor(t)
+	trainHammock(p, 12)
+	cl := p.Clone()
+	for i := 0; i < 100; i++ {
+		cl.Lookup(10) // stamp the clone's LRU hard
+	}
+	a := newTestPredictor(t)
+	trainHammock(a, 12)
+	// The original must behave as if the clone never existed: identical
+	// to a predictor trained the same way with no clone in the picture.
+	pr1, ok1 := p.Lookup(10)
+	pr2, ok2 := a.Lookup(10)
+	if ok1 != ok2 || pr1 != pr2 {
+		t.Errorf("clone lookups disturbed the original: %+v ok=%v, want %+v ok=%v", pr1, ok1, pr2, ok2)
+	}
+}

@@ -170,6 +170,11 @@ type Predictor struct {
 	windows []window
 	active  int // live training windows; gates the per-retire window scan
 	counts  Counts
+	// shared marks the storage (entries, index, windows) as possibly
+	// aliased by a Clone: the next mutating call deep-copies it first
+	// (lazy copy-on-write — sampled simulation snapshots the warmed
+	// predictor once per period, and both sides keep training).
+	shared bool
 }
 
 // New builds a predictor; all storage is preallocated so the observe and
@@ -212,6 +217,9 @@ func (p *Predictor) Entries() int { return p.used }
 //
 //dmp:hotpath
 func (p *Predictor) Observe(pc uint64, op isa.Op, taken, train bool) {
+	if p.shared {
+		p.unshare()
+	}
 	p.stamp++
 
 	// Feed the in-flight windows first: the branch's own retirement must
@@ -296,6 +304,10 @@ func (p *Predictor) feedWindows(pc uint64) {
 //
 //dmp:hotpath
 func (p *Predictor) Lookup(pc uint64) (pr Prediction, ok bool) {
+	if p.shared {
+		// Lookup writes too (LRU stamps), so it must also privatize.
+		p.unshare()
+	}
 	slot, found := p.index[pc]
 	if !found {
 		return pr, false
@@ -489,25 +501,29 @@ func (p *Predictor) retrain(e *entry) {
 	}
 }
 
-// Clone deep-copies the predictor: table entries (including learned CFM
+// Clone snapshots the predictor: table entries (including learned CFM
 // points and their path windows), the PC index, in-flight training
 // windows, and counters. Sampled simulation warms one predictor
 // continuously during functional fast-forward and clones it per
 // checkpoint so detailed intervals start with the reconvergence table an
-// exact run would have. Path and window slices are copied with their
-// full MaxTrack capacity so the clone allocates nothing on the hot path.
+// exact run would have. The snapshot itself is O(1): storage is shared
+// and marked, and each instance deep-copies it privately on its first
+// subsequent mutation (unshare).
 func (p *Predictor) Clone() *Predictor {
-	n := &Predictor{
-		cfg:     p.cfg,
-		entries: make([]entry, len(p.entries)),
-		index:   make(map[uint64]int, len(p.index)),
-		used:    p.used,
-		stamp:   p.stamp,
-		depth:   p.depth,
-		windows: make([]window, len(p.windows)),
-		active:  p.active,
-		counts:  p.counts,
-	}
+	// Lazy copy-on-write: both instances alias the same storage until one
+	// of them mutates (Observe/Lookup), which deep-copies first. The
+	// shared storage itself is never written again, so a clone handed to
+	// another goroutine (with a synchronizing handoff) is race-free.
+	p.shared = true
+	n := *p
+	return &n
+}
+
+// unshare deep-copies the predictor's aliased storage into private
+// allocations. Kept out of the //dmp:hotpath bodies: Observe/Lookup pay
+// one flag test, and the copy happens at most once per Clone.
+func (p *Predictor) unshare() {
+	entries := make([]entry, len(p.entries))
 	for i := range p.entries {
 		e := p.entries[i]
 		for d := 0; d < 2; d++ {
@@ -515,11 +531,13 @@ func (p *Predictor) Clone() *Predictor {
 			copy(path, e.path[d])
 			e.path[d] = path
 		}
-		n.entries[i] = e
+		entries[i] = e
 	}
+	index := make(map[uint64]int, len(p.index))
 	for pc, slot := range p.index {
-		n.index[pc] = slot
+		index[pc] = slot
 	}
+	windows := make([]window, len(p.windows))
 	for i := range p.windows {
 		w := p.windows[i]
 		pcs := make([]uint64, len(w.pcs), p.cfg.MaxTrack)
@@ -527,7 +545,8 @@ func (p *Predictor) Clone() *Predictor {
 		w.pcs = pcs
 		w.seenPC = append([]uint64(nil), w.seenPC...)
 		w.seenAt = append([]uint32(nil), w.seenAt...)
-		n.windows[i] = w
+		windows[i] = w
 	}
-	return n
+	p.entries, p.index, p.windows = entries, index, windows
+	p.shared = false
 }

@@ -44,6 +44,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dmp/internal/core"
@@ -73,12 +74,40 @@ const PrefixRetired = 2048
 // live on core.Config, so the result cache keys on them).
 type Options struct {
 	// Slots, when non-nil, is a shared worker-slot semaphore (the exp
-	// package's global pool). Interval jobs try-acquire: on success the
-	// interval simulates on its own goroutine holding a slot, otherwise
-	// it runs inline on the caller's goroutine — which typically already
-	// holds a slot, so a full pool degrades to sequential instead of
-	// deadlocking. When nil, a private GOMAXPROCS-sized pool is used.
+	// package's global pool). The streamed pipeline try-acquires slots to
+	// spawn interval consumers: on success intervals simulate on worker
+	// goroutines overlapping the warming pass, otherwise jobs run inline
+	// on the producer's goroutine — which typically already holds a slot,
+	// so a full pool degrades to sequential instead of deadlocking. When
+	// nil, a private GOMAXPROCS-sized pool is used.
 	Slots chan struct{}
+	// Sequential forces every interval to run inline on the producer's
+	// goroutine, immediately after its checkpoint is captured — the
+	// pre-pipeline behaviour. The result must be byte-identical to the
+	// streamed path (the determinism tests pin this); the only difference
+	// is wall-clock.
+	Sequential bool
+}
+
+// Timing is the host wall-clock breakdown of one sampled run, for
+// diagnosing where the speedup goes. All fields are wall-clock dependent
+// and excluded from the Manifest and every determinism comparison.
+// DetailedSeconds sums per-interval durations across worker goroutines,
+// so with the streamed pipeline it can exceed the run's WallSeconds (the
+// overlap is the point); the remaining fields are producer-side.
+type Timing struct {
+	// PrefixSeconds is the exactly simulated cold-start prefix.
+	PrefixSeconds float64
+	// WarmSeconds is the continuous functional warming pass, including
+	// the untrained fast-forward tail after the last checkpoint.
+	WarmSeconds float64
+	// SnapshotSeconds is checkpoint capture: architectural Checkpoint
+	// plus the copy-on-write WarmState Snapshot, per period.
+	SnapshotSeconds float64
+	// DetailedSeconds sums the detailed interval simulations.
+	DetailedSeconds float64
+	// ExtrapolateSeconds is aggregation and extrapolation at the end.
+	ExtrapolateSeconds float64
 }
 
 // Interval is one measured detailed interval.
@@ -136,8 +165,11 @@ type Result struct {
 	// sampled run).
 	Extrapolated *core.Stats
 	// WallSeconds is the host wall-clock time of the whole sampled run
-	// (prefix + warming pass + detailed intervals).
+	// (prefix + warming pass + detailed intervals); Timing breaks it
+	// down by activity. Both are wall-clock dependent and excluded from
+	// the Manifest and determinism comparisons.
 	WallSeconds float64
+	Timing      Timing
 }
 
 // Covers reports whether the 95% confidence interval around the sampled
@@ -152,6 +184,18 @@ type checkpointAt struct {
 	start uint64
 	ck    emu.Checkpoint
 	ws    *core.WarmState
+}
+
+// intervalJob is one detailed interval flowing through the streamed
+// pipeline: the captured checkpoint in, the measured interval out. The
+// checkpoint field is cleared as soon as the interval completes so the
+// snapshot memory is released while the run is still warming.
+type intervalJob struct {
+	index int
+	c     checkpointAt
+	iv    Interval
+	st    core.Stats
+	err   error
 }
 
 // Run samples one program under cfg. cfg.SampleMode must be set; the
@@ -195,6 +239,87 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 			prefTarget)
 	}
 	prefR := pre.RetiredInsts
+	var tm Timing
+	tm.PrefixSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+
+	// Streamed pipeline: the warming pass (producer) hands each
+	// checkpoint to interval workers (consumers) the moment it is
+	// captured, so detailed simulation overlaps the rest of the warming
+	// pass instead of waiting for it. Jobs flow through a bounded
+	// channel; consumers are spawned by try-acquiring worker slots and
+	// exit when the queue drains (so shared slots are never hoarded while
+	// the producer warms toward the next checkpoint). The producer never
+	// blocks: with the queue full or no slot free it runs the job inline,
+	// degrading toward the sequential path instead of deadlocking.
+	// Results are aggregated in checkpoint (index) order afterwards, so
+	// Stats are byte-identical regardless of scheduling — Sequential mode
+	// pins this in the determinism tests.
+	slots := o.Slots
+	if slots == nil {
+		slots = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	mcfg := cfg
+	mcfg.MaxInsts = 0 // interval machines are bounded by RunUntil targets
+	var (
+		all   []*intervalJob
+		wg    sync.WaitGroup // in-flight jobs
+		cwg   sync.WaitGroup // live consumer goroutines (they hold slots)
+		detNS atomic.Int64
+	)
+	runJob := func(jb *intervalJob) {
+		t0 := time.Now() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+		jb.iv, jb.st, jb.err = runInterval(p, mcfg, jb.c, warmup, interval)
+		jb.iv.Index = jb.index
+		// Release the snapshot (checkpoint memory + warm state) as soon as
+		// the interval completes instead of holding every one until the end
+		// of the run.
+		jb.c = checkpointAt{}
+		detNS.Add(time.Since(t0).Nanoseconds()) //dmp:allow nondeterminism -- Timing is excluded from golden tables
+	}
+	var jobs chan *intervalJob
+	if !o.Sequential {
+		jobs = make(chan *intervalJob, cap(slots)+1)
+	}
+	consume := func() {
+		defer func() { <-slots }()
+		for {
+			select {
+			case jb, ok := <-jobs:
+				if !ok {
+					return
+				}
+				runJob(jb)
+				wg.Done()
+			default:
+				return // queue drained: hand the slot back
+			}
+		}
+	}
+	dispatch := func(jb *intervalJob) {
+		all = append(all, jb)
+		if jobs == nil {
+			runJob(jb)
+			return
+		}
+		wg.Add(1)
+		select {
+		case jobs <- jb:
+			select {
+			case slots <- struct{}{}:
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					consume()
+				}()
+			default:
+			}
+		default:
+			// Queue full and every consumer busy: run inline rather than
+			// stalling the warming pass.
+			runJob(jb)
+			wg.Done()
+		}
+	}
 
 	// Continuous functional warming pass over [prefR, total), capturing
 	// one checkpoint per period at a stratified pseudo-random offset.
@@ -202,31 +327,40 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := w.WarmTo(prefR); err != nil {
+	warmTo := func(target uint64) error {
+		t0 := time.Now() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+		err := w.WarmTo(target)
+		tm.WarmSeconds += time.Since(t0).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+		return err
+	}
+	if err := warmTo(prefR); err != nil {
 		return nil, err
 	}
 	offRange := uint64(1)
 	if period > warmup+interval+RampRetired {
 		offRange = period - warmup - interval - RampRetired + 1
 	}
-	var cks []checkpointAt
 	for j := uint64(0); ; j++ {
 		base := prefR + j*period
 		if maxTotal != 0 && base >= maxTotal {
 			break
 		}
-		if err := w.WarmTo(base + splitmix64(j)%offRange); err != nil {
+		if err := warmTo(base + splitmix64(j)%offRange); err != nil {
 			return nil, err
 		}
 		if w.Halted() {
 			break
 		}
-		cks = append(cks, checkpointAt{start: w.Count(), ck: w.Checkpoint(), ws: w.Snapshot()})
+		t0 := time.Now() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+		jb := &intervalJob{index: len(all),
+			c: checkpointAt{start: w.Count(), ck: w.Checkpoint(), ws: w.Snapshot()}}
+		tm.SnapshotSeconds += time.Since(t0).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+		dispatch(jb)
 		end := base + period
 		if maxTotal != 0 && end > maxTotal {
 			end = maxTotal
 		}
-		if err := w.WarmTo(end); err != nil {
+		if err := warmTo(end); err != nil {
 			return nil, err
 		}
 		if w.Halted() || (maxTotal != 0 && w.Count() >= maxTotal) {
@@ -234,6 +368,7 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 		}
 	}
 	// Tail after the last checkpoint: plain fast-forward, no training.
+	tTail := time.Now() //dmp:allow nondeterminism -- Timing is excluded from golden tables
 	if maxTotal == 0 {
 		if err := w.RunToHalt(); err != nil {
 			return nil, err
@@ -241,62 +376,42 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	} else if err := w.SkipTo(maxTotal); err != nil {
 		return nil, err
 	}
+	tm.WarmSeconds += time.Since(tTail).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
 	total := w.Count()
-	if len(cks) == 0 {
+	// Drain whatever the consumers have not picked up, then wait for the
+	// in-flight ones.
+	if jobs != nil {
+		close(jobs)
+		for jb := range jobs {
+			runJob(jb)
+			wg.Done()
+		}
+		wg.Wait()
+		cwg.Wait() // consumers must release their slots before Run returns
+	}
+	if len(all) == 0 {
 		return nil, fmt.Errorf("sample: program too short to sample (%d instructions, period %d); run exact or shrink -sample-period",
 			total, period)
 	}
 
-	// Detailed intervals, concurrently where slots allow. Results land in
-	// index order, so aggregation below is deterministic regardless of
-	// scheduling.
-	slots := o.Slots
-	if slots == nil {
-		slots = make(chan struct{}, runtime.GOMAXPROCS(0))
-	}
-	mcfg := cfg
-	mcfg.MaxInsts = 0 // interval machines are bounded by RunUntil targets
-	ivs := make([]Interval, len(cks))
-	sts := make([]core.Stats, len(cks))
-	errs := make([]error, len(cks))
-	var wg sync.WaitGroup
-	for i := range cks {
-		i := i
-		work := func() {
-			ivs[i], sts[i], errs[i] = runInterval(p, mcfg, cks[i], warmup, interval)
-			ivs[i].Index = i
-		}
-		select {
-		case slots <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { <-slots }()
-				work()
-			}()
-		default:
-			work()
-		}
-	}
-	wg.Wait()
-
+	tExtrap := time.Now() //dmp:allow nondeterminism -- Timing is excluded from golden tables
 	res := &Result{Period: period, IntervalLen: interval, Warmup: warmup, Ramp: RampRetired,
 		TotalInsts: total, PrefixRetired: prefR, PrefixCycles: pre.Cycles}
 	agg := core.Stats{}
 	var cpis, ipcs []float64
-	for i := range cks {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("sample: interval %d (insts %d+): %w", i, cks[i].start, errs[i])
+	for i, jb := range all {
+		if jb.err != nil {
+			return nil, fmt.Errorf("sample: interval %d (insts %d+): %w", i, jb.iv.Start, jb.err)
 		}
-		if ivs[i].Retired == 0 || ivs[i].Cycles == 0 {
+		if jb.iv.Retired == 0 || jb.iv.Cycles == 0 {
 			// The program halted inside this interval's warming or ramp:
 			// nothing measured, nothing to extrapolate from.
 			continue
 		}
-		agg = agg.Add(&sts[i])
-		cpis = append(cpis, float64(ivs[i].Cycles)/float64(ivs[i].Retired))
-		ipcs = append(ipcs, ivs[i].IPC)
-		res.Intervals = append(res.Intervals, ivs[i])
+		agg = agg.Add(&jb.st)
+		cpis = append(cpis, float64(jb.iv.Cycles)/float64(jb.iv.Retired))
+		ipcs = append(ipcs, jb.iv.IPC)
+		res.Intervals = append(res.Intervals, jb.iv)
 	}
 	res.K = len(res.Intervals)
 	if res.K == 0 {
@@ -323,6 +438,9 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	ex := pre.Add(&sc)
 	ex.RetiredInsts = total // the ratio is exact here; don't let rounding drift it
 	ex.HaltRetired = w.Halted()
+	tm.DetailedSeconds = float64(detNS.Load()) / 1e9
+	tm.ExtrapolateSeconds = time.Since(tExtrap).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+	res.Timing = tm
 	res.WallSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- WallSeconds is excluded from golden tables
 	ex.WallSeconds = res.WallSeconds
 	res.Extrapolated = &ex

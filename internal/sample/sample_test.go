@@ -167,6 +167,70 @@ func TestSharedSlots(t *testing.T) {
 	}
 }
 
+// TestSequentialMatchesStreamed is the pipeline determinism golden: the
+// streamed producer/consumer path must produce byte-identical results —
+// manifest AND full extrapolated Stats — to the sequential
+// inline-after-capture path, for both the private pool and a shared one.
+// Run under -race this also exercises the checkpoint handoff for races.
+func TestSequentialMatchesStreamed(t *testing.T) {
+	p := mcfProg(t)
+	seq, err := Run(p, sampleCfg(), Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, _ := json.Marshal(seq.Manifest())
+	for _, o := range []Options{{}, {Slots: make(chan struct{}, 4)}} {
+		str, err := Run(p, sampleCfg(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, _ := json.Marshal(str.Manifest())
+		if !bytes.Equal(js, ja) {
+			t.Errorf("streamed manifest differs from sequential:\n%s\n%s", js, ja)
+		}
+		sa, sb := *seq.Extrapolated, *str.Extrapolated
+		sa.WallSeconds, sb.WallSeconds = 0, 0
+		if sa != sb {
+			t.Errorf("streamed Stats differ from sequential modulo WallSeconds:\n%+v\n%+v", sa, sb)
+		}
+	}
+}
+
+// TestCachesOnlyWarmMode pins the reduced-warming operating point:
+// caches-only warming (predictors retrain per interval via SampleWarmup
+// instead of continuously) must still produce a usable estimate, and
+// must be deterministic like the full mode.
+func TestCachesOnlyWarmMode(t *testing.T) {
+	p := mcfProg(t)
+	cfg := sampleCfg()
+	cfg.WarmMode = "caches"
+	cfg.SampleWarmup = 512
+	ex := exactStats(t, p, cfg)
+	r, err := Run(p, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K < 2 {
+		t.Fatalf("K = %d, want >= 2 intervals", r.K)
+	}
+	// Looser bound than full warming: predictors see only the per-interval
+	// warmup window. Structural regressions (no warmup at all, broken
+	// cache warming) land far outside 20%.
+	errPct := 100 * math.Abs(r.IPC-ex.IPC()) / ex.IPC()
+	if errPct > 20 {
+		t.Errorf("caches-only sampled IPC %.4f vs exact %.4f: |err| %.1f%% > 20%%", r.IPC, ex.IPC(), errPct)
+	}
+	b, err := Run(p, cfg, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(r.Manifest())
+	jb, _ := json.Marshal(b.Manifest())
+	if !bytes.Equal(ja, jb) {
+		t.Error("caches-only runs differ between streamed and sequential paths")
+	}
+}
+
 func TestMaxInstsTruncates(t *testing.T) {
 	p := mcfProg(t)
 	cfg := sampleCfg()
