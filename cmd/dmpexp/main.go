@@ -130,7 +130,7 @@ func main() {
 	// experiments use the latter) must be free of Error-severity
 	// findings before any simulation starts.
 	if *doLint {
-		bad := 0
+		bad, warns := 0, 0
 		benches := opts.Benchmarks
 		if len(benches) == 0 {
 			benches = workload.Names()
@@ -146,15 +146,21 @@ func main() {
 					fmt.Fprintf(os.Stderr, "dmpexp: lint %s (loops=%v): %s\n", b, loops, d)
 					if d.Sev == lint.Error {
 						bad++
+					} else {
+						warns++
 					}
 				}
 			}
 		}
 		if bad > 0 {
-			fmt.Fprintf(os.Stderr, "dmpexp: lint: %d error(s)\n", bad)
+			fmt.Fprintf(os.Stderr, "dmpexp: lint: %d error(s), %d warning(s)\n", bad, warns)
 			exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "dmpexp: lint: clean")
+		if warns > 0 {
+			fmt.Fprintf(os.Stderr, "dmpexp: lint: clean (%d warning(s) suppressed)\n", warns)
+		} else {
+			fmt.Fprintln(os.Stderr, "dmpexp: lint: clean")
+		}
 	}
 
 	type result struct {

@@ -96,6 +96,8 @@ func main() {
 	if errs > 0 || *werror {
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "dmplint: %d warning(s) suppressed (use -werror to fail on them)\n",
+		len(total)-errs)
 }
 
 // report prints every diagnostic prefixed with the program name and

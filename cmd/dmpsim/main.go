@@ -182,6 +182,8 @@ func main() {
 		}
 		if len(ds) == 0 {
 			fmt.Println("lint: clean")
+		} else {
+			fmt.Printf("lint: clean (%d warning(s) suppressed)\n", len(ds))
 		}
 		return
 	}

@@ -275,6 +275,17 @@ func DHPConfig() Config {
 // ConfidenceName is deliberately NOT folded for any mode: every fetched
 // conditional branch consults the estimator and the LowConfCorrect /
 // LowConfWrong counters differ between estimators even on the baseline.
+//
+// The raw machine-geometry and run-limit fields are pass-through key
+// components: every distinct value is a distinct simulation, so there is
+// nothing for Canonical to normalize and they ride along verbatim in the
+// returned copy. The dmpvet canonical analyzer holds this list against
+// the struct — a new Config field must either be normalized above or be
+// added here with the same justification.
+//
+//dmp:nocanon FetchWidth MaxBrPerFetch PipelineDepth FetchQueueSize -- pass-through front-end geometry
+//dmp:nocanon ROBSize IssueWidth RetireWidth LoadPorts StoreBufferSize SelectUopsPerCycle -- pass-through core geometry
+//dmp:nocanon MaxInsts MaxCycles -- pass-through run limits
 func (c Config) Canonical() Config {
 	if c.PredictorName == "" {
 		c.PredictorName = "perceptron"

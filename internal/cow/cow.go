@@ -64,6 +64,8 @@ func (t *Table[T]) RO(i int) []T { return t.groups[i] }
 // Mut returns group i for writing, copying it into private storage first
 // if it is (or may be) shared with a snapshot. The fast path — group
 // already private — is a generation compare.
+//
+//dmp:hotpath
 func (t *Table[T]) Mut(i int) []T {
 	if t.gen[i] == t.own {
 		return t.groups[i]
@@ -73,9 +75,11 @@ func (t *Table[T]) Mut(i int) []T {
 
 // unshare privately copies group i (kept out of Mut so the fast path
 // inlines into hot loops).
+//
+//dmp:hotpath
 func (t *Table[T]) unshare(i int) []T {
 	if len(t.arena)+t.gsize > cap(t.arena) {
-		t.arena = make([]T, 0, blockGroups*t.gsize)
+		t.arena = make([]T, 0, blockGroups*t.gsize) //dmp:allow hotalloc -- arena block amortizes one allocation over blockGroups first-writes
 	}
 	off := len(t.arena)
 	t.arena = append(t.arena, t.groups[i]...)
@@ -88,6 +92,8 @@ func (t *Table[T]) unshare(i int) []T {
 // Clone snapshots the table: O(#groups) header copies, no element
 // copies. The receiver's privately owned groups become shared (its next
 // write to each will re-copy), and the returned table shares everything.
+//
+//dmp:hotpath
 func (t *Table[T]) Clone() Table[T] {
 	t.own++
 	if t.own == 0 { // wrapped: nothing is provably private any more
@@ -96,6 +102,7 @@ func (t *Table[T]) Clone() Table[T] {
 			t.gen[i] = 0
 		}
 	}
+	//dmp:allow hotalloc -- the snapshot's header arrays ARE the O(metadata) cost Clone promises, once per sampling period
 	c := Table[T]{groups: make([][]T, len(t.groups)), gen: make([]uint32, len(t.groups)), own: 1, gsize: t.gsize}
 	copy(c.groups, t.groups)
 	return c
@@ -135,16 +142,22 @@ func NewFlat[T any](n int) Flat[T] {
 func (f *Flat[T]) Len() int { return f.n }
 
 // At reads element i.
+//
+//dmp:hotpath
 func (f *Flat[T]) At(i int) T { return f.tab.groups[i>>f.shift][i&f.mask] }
 
 // Mut returns a pointer to element i for writing, privatizing its chunk
 // first if shared.
+//
+//dmp:hotpath
 func (f *Flat[T]) Mut(i int) *T {
 	g := f.tab.Mut(i >> f.shift)
 	return &g[i&f.mask]
 }
 
 // Clone snapshots the array (see Table.Clone).
+//
+//dmp:hotpath
 func (f *Flat[T]) Clone() Flat[T] {
 	return Flat[T]{tab: f.tab.Clone(), shift: f.shift, mask: f.mask, n: f.n}
 }

@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"dmp/internal/lint"
+	"dmp/internal/prog"
+)
+
+// synthesize turns the emitter's structural candidates into diverge
+// annotations, using lint as the legality oracle rather than
+// re-implementing its rules: a candidate is attached only if the
+// per-branch oracle accepts it with zero diagnostics (warnings
+// included), and any survivor that then draws a cross-branch
+// nested-region diagnostic is dropped until the full annotation check is
+// silent. The synthesizer therefore cannot emit an annotation lint would
+// flag — if it ever does, one of the two is wrong, which is exactly the
+// bidirectional contract the differential harness pins.
+func synthesize(p *prog.Program, cands []candidate, o Options) {
+	cfg := prog.BuildCFG(p)
+	oracle := lint.NewAnnotationOracle(p, cfg)
+	lopts := lint.Options{MaxDist: o.MaxDist}
+
+	for _, c := range cands {
+		d := &prog.Diverge{ExitThreshold: 0}
+		for _, ref := range c.cfms {
+			pc := c.br + ref.rel
+			if ref.label != "" {
+				pc = p.PC(ref.label)
+			}
+			d.CFMs = append(d.CFMs, pc)
+		}
+		if len(d.CFMs) == 0 || c.br >= uint64(len(p.Code)) {
+			continue
+		}
+		// Mirror the profiler's classification and loop marking: class
+		// from the CFG's own simple-hammock detector, loop flag from the
+		// branch direction (lint checks both for consistency).
+		d.Class = prog.ClassComplexDiverge
+		if _, simple := cfg.SimpleHammockJoin(c.br); simple {
+			d.Class = prog.ClassSimpleHammock
+		}
+		d.Loop = p.Code[c.br].Target <= c.br
+		// Vary the early-exit threshold from the branch site so the
+		// population exercises both the machine default and explicit
+		// values (always within lint's bound).
+		tr := newRng(c.br ^ o.Seed)
+		if tr.coin(30) {
+			d.ExitThreshold = 8 + tr.n(100)
+		}
+
+		if ds := oracle.Check(c.br, d, lopts); len(ds) > 0 {
+			// Retry with the primary CFM alone (alternates can overrun
+			// the distance bound the primary satisfies), then give up:
+			// an unannotatable branch is still interesting control flow.
+			if len(d.CFMs) == 1 {
+				continue
+			}
+			d.CFMs = d.CFMs[:1]
+			if ds := oracle.Check(c.br, d, lopts); len(ds) > 0 {
+				continue
+			}
+		}
+		p.MarkDiverge(c.br, d)
+	}
+
+	// Cross-branch fixpoint: the oracle validates branches in isolation,
+	// so improperly-overlapping regions (nested-region warnings) only
+	// surface once the full set is attached. Drop offenders until the
+	// program is diagnostic-clean. Each round deletes at least one
+	// annotation, so this terminates.
+	for len(p.Diverge) > 0 {
+		ds := lint.Annotations(p, cfg, lopts)
+		if len(ds) == 0 {
+			return
+		}
+		dropped := false
+		for _, dg := range ds {
+			if _, ok := p.Diverge[dg.PC]; ok {
+				delete(p.Diverge, dg.PC)
+				dropped = true
+			}
+		}
+		if !dropped {
+			// Diagnostics not attributable to an annotation we hold:
+			// nothing more to drop (cannot happen for oracle-approved
+			// candidates, but do not loop forever if it does).
+			return
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"testing"
+
+	"dmp/internal/emu"
+	"dmp/internal/lint"
+	"dmp/internal/prog"
+)
+
+// hasLoopDiverge is a representative "divergence class" predicate: the
+// program carries at least one annotated loop-diverge branch and runs
+// long enough to matter. Deterministic and cheap, like the stage-based
+// predicates cmd/dmpgen minimizes real divergences with.
+func hasLoopDiverge(p *prog.Program) bool {
+	found := false
+	for _, pc := range p.DivergePCs() {
+		if p.DivergeAt(pc).Loop {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	e := emu.New(p)
+	if _, err := e.Run(1_000_000); err != nil || !e.Halted {
+		return false
+	}
+	return e.Count > 400
+}
+
+// findShrinkable returns a seed whose generated program satisfies the
+// predicate with a comfortably large tree.
+func findShrinkable(t *testing.T) *Generated {
+	t.Helper()
+	for seed := uint64(1); seed <= 200; seed++ {
+		g := New(DefaultOptions(seed))
+		if hasLoopDiverge(g.Prog) && g.Root.count() > 10 {
+			return g
+		}
+	}
+	t.Fatal("no seed in 1..200 satisfies the shrink predicate")
+	return nil
+}
+
+// TestShrinkConvergence: the minimized program still reproduces the
+// divergence class, is strictly smaller, stays lint-clean, and is a
+// fixpoint (re-shrinking accepts zero further mutations).
+func TestShrinkConvergence(t *testing.T) {
+	g := findShrinkable(t)
+	min, steps := Shrink(g, hasLoopDiverge)
+	if steps == 0 {
+		t.Fatalf("shrinker accepted no mutation on a %d-node tree", g.Root.count())
+	}
+	if !hasLoopDiverge(min.Prog) {
+		t.Fatalf("minimized program no longer reproduces the divergence class")
+	}
+	if got, was := measure(min.Root)+min.Opts.Iters, measure(g.Root)+g.Opts.Iters; got >= was {
+		t.Fatalf("shrink did not reduce: %d -> %d", was, got)
+	}
+	if ds := lint.Check(min.Prog, lint.Options{}); len(ds) > 0 {
+		t.Fatalf("minimized program is not lint-clean:\n%s", ds)
+	}
+	// Fixpoint: shrinking the minimum again changes nothing.
+	again, steps2 := Shrink(min, hasLoopDiverge)
+	if steps2 != 0 {
+		t.Fatalf("second shrink accepted %d more mutations — not converged", steps2)
+	}
+	if again.Prog.Disassemble() != min.Prog.Disassemble() {
+		t.Fatalf("second shrink changed the program")
+	}
+}
+
+// TestShrinkDeterministic: two independent shrinks of the same input
+// produce byte-identical minimized programs.
+func TestShrinkDeterministic(t *testing.T) {
+	g := findShrinkable(t)
+	a, stepsA := Shrink(g, hasLoopDiverge)
+	// Rebuild the input from scratch to rule out shared-state effects.
+	g2 := New(g.Opts)
+	b, stepsB := Shrink(g2, hasLoopDiverge)
+	if stepsA != stepsB {
+		t.Fatalf("step counts differ: %d vs %d", stepsA, stepsB)
+	}
+	if a.Prog.Disassemble() != b.Prog.Disassemble() {
+		t.Fatalf("minimized programs differ:\n--- a\n%s\n--- b\n%s",
+			a.Prog.Disassemble(), b.Prog.Disassemble())
+	}
+	if a.Opts.Iters != b.Opts.Iters {
+		t.Fatalf("minimized trip counts differ: %d vs %d", a.Opts.Iters, b.Opts.Iters)
+	}
+}
+
+// TestShrinkNonFailingInputUnchanged: a program that never satisfied the
+// predicate is returned untouched with zero steps.
+func TestShrinkNonFailingInputUnchanged(t *testing.T) {
+	g := New(DefaultOptions(3))
+	min, steps := Shrink(g, func(*prog.Program) bool { return false })
+	if steps != 0 || min != g {
+		t.Fatalf("shrink of a non-failing input did something: steps=%d", steps)
+	}
+}

@@ -198,6 +198,115 @@ type intervalJob struct {
 	err   error
 }
 
+// pipeline is the streamed producer/consumer machinery of one sampled
+// run: the warming pass (producer) dispatches each captured checkpoint
+// the moment it exists, consumer goroutines try-acquire worker slots and
+// drain the bounded queue, and the producer degrades to running jobs
+// inline rather than ever blocking. Its per-checkpoint methods are
+// //dmp:hotpath: they sit between warming and detailed simulation, so an
+// accidental per-job allocation (beyond the job itself) would scale with
+// interval count.
+type pipeline struct {
+	p                *prog.Program
+	cfg              core.Config
+	warmup, interval uint64
+
+	slots chan struct{}     // shared worker slots (may span concurrent runs)
+	jobs  chan *intervalJob // nil in Sequential mode
+	all   []*intervalJob    // every job, in checkpoint order
+	wg    sync.WaitGroup    // in-flight jobs
+	cwg   sync.WaitGroup    // live consumer goroutines (they hold slots)
+	detNS atomic.Int64      // detailed-simulation wall time
+}
+
+// runJob simulates one detailed interval and releases its snapshot
+// (checkpoint memory + warm state) immediately, instead of holding every
+// one until the end of the run.
+//
+//dmp:hotpath
+func (pl *pipeline) runJob(jb *intervalJob) {
+	t0 := time.Now() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+	jb.iv, jb.st, jb.err = runInterval(pl.p, pl.cfg, jb.c, pl.warmup, pl.interval)
+	jb.iv.Index = jb.index
+	jb.c = checkpointAt{}
+	pl.detNS.Add(time.Since(t0).Nanoseconds()) //dmp:allow nondeterminism -- Timing is excluded from golden tables
+}
+
+// consume drains the job queue until it is empty or closed, then hands
+// the worker slot back (so shared slots are never hoarded while the
+// producer warms toward the next checkpoint).
+//
+//dmp:hotpath
+func (pl *pipeline) consume() {
+	defer pl.release()
+	for {
+		select {
+		case jb, ok := <-pl.jobs:
+			if !ok {
+				return
+			}
+			pl.runJob(jb)
+			pl.wg.Done()
+		default:
+			return // queue drained: hand the slot back
+		}
+	}
+}
+
+// release returns the consumer's worker slot.
+func (pl *pipeline) release() { <-pl.slots }
+
+// spawn runs one consumer goroutine lifecycle.
+func (pl *pipeline) spawn() {
+	defer pl.cwg.Done()
+	pl.consume()
+}
+
+// dispatch hands a captured checkpoint to the consumers: enqueue and
+// opportunistically start a consumer if a slot is free; with the queue
+// full (or in Sequential mode) run the job inline, degrading toward the
+// sequential path instead of stalling the warming pass.
+//
+//dmp:hotpath
+func (pl *pipeline) dispatch(jb *intervalJob) {
+	pl.all = append(pl.all, jb)
+	if pl.jobs == nil {
+		pl.runJob(jb)
+		return
+	}
+	pl.wg.Add(1)
+	select {
+	case pl.jobs <- jb:
+		select {
+		case pl.slots <- struct{}{}:
+			pl.cwg.Add(1)
+			go pl.spawn()
+		default:
+		}
+	default:
+		// Queue full and every consumer busy: run inline rather than
+		// stalling the warming pass.
+		pl.runJob(jb)
+		pl.wg.Done()
+	}
+}
+
+// drain closes the queue, runs whatever the consumers have not picked
+// up, and waits for in-flight jobs and consumers (consumers must release
+// their slots before Run returns).
+func (pl *pipeline) drain() {
+	if pl.jobs == nil {
+		return
+	}
+	close(pl.jobs)
+	for jb := range pl.jobs {
+		pl.runJob(jb)
+		pl.wg.Done()
+	}
+	pl.wg.Wait()
+	pl.cwg.Wait()
+}
+
 // Run samples one program under cfg. cfg.SampleMode must be set; the
 // sampling parameters come from cfg.SampleParams(). cfg.MaxInsts, when
 // non-zero, truncates the sampled region exactly as it truncates an
@@ -260,65 +369,9 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	}
 	mcfg := cfg
 	mcfg.MaxInsts = 0 // interval machines are bounded by RunUntil targets
-	var (
-		all   []*intervalJob
-		wg    sync.WaitGroup // in-flight jobs
-		cwg   sync.WaitGroup // live consumer goroutines (they hold slots)
-		detNS atomic.Int64
-	)
-	runJob := func(jb *intervalJob) {
-		t0 := time.Now() //dmp:allow nondeterminism -- Timing is excluded from golden tables
-		jb.iv, jb.st, jb.err = runInterval(p, mcfg, jb.c, warmup, interval)
-		jb.iv.Index = jb.index
-		// Release the snapshot (checkpoint memory + warm state) as soon as
-		// the interval completes instead of holding every one until the end
-		// of the run.
-		jb.c = checkpointAt{}
-		detNS.Add(time.Since(t0).Nanoseconds()) //dmp:allow nondeterminism -- Timing is excluded from golden tables
-	}
-	var jobs chan *intervalJob
+	pl := &pipeline{p: p, cfg: mcfg, warmup: warmup, interval: interval, slots: slots}
 	if !o.Sequential {
-		jobs = make(chan *intervalJob, cap(slots)+1)
-	}
-	consume := func() {
-		defer func() { <-slots }()
-		for {
-			select {
-			case jb, ok := <-jobs:
-				if !ok {
-					return
-				}
-				runJob(jb)
-				wg.Done()
-			default:
-				return // queue drained: hand the slot back
-			}
-		}
-	}
-	dispatch := func(jb *intervalJob) {
-		all = append(all, jb)
-		if jobs == nil {
-			runJob(jb)
-			return
-		}
-		wg.Add(1)
-		select {
-		case jobs <- jb:
-			select {
-			case slots <- struct{}{}:
-				cwg.Add(1)
-				go func() {
-					defer cwg.Done()
-					consume()
-				}()
-			default:
-			}
-		default:
-			// Queue full and every consumer busy: run inline rather than
-			// stalling the warming pass.
-			runJob(jb)
-			wg.Done()
-		}
+		pl.jobs = make(chan *intervalJob, cap(slots)+1)
 	}
 
 	// Continuous functional warming pass over [prefR, total), capturing
@@ -352,10 +405,10 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 			break
 		}
 		t0 := time.Now() //dmp:allow nondeterminism -- Timing is excluded from golden tables
-		jb := &intervalJob{index: len(all),
+		jb := &intervalJob{index: len(pl.all),
 			c: checkpointAt{start: w.Count(), ck: w.Checkpoint(), ws: w.Snapshot()}}
 		tm.SnapshotSeconds += time.Since(t0).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
-		dispatch(jb)
+		pl.dispatch(jb)
 		end := base + period
 		if maxTotal != 0 && end > maxTotal {
 			end = maxTotal
@@ -380,16 +433,8 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	total := w.Count()
 	// Drain whatever the consumers have not picked up, then wait for the
 	// in-flight ones.
-	if jobs != nil {
-		close(jobs)
-		for jb := range jobs {
-			runJob(jb)
-			wg.Done()
-		}
-		wg.Wait()
-		cwg.Wait() // consumers must release their slots before Run returns
-	}
-	if len(all) == 0 {
+	pl.drain()
+	if len(pl.all) == 0 {
 		return nil, fmt.Errorf("sample: program too short to sample (%d instructions, period %d); run exact or shrink -sample-period",
 			total, period)
 	}
@@ -399,7 +444,7 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 		TotalInsts: total, PrefixRetired: prefR, PrefixCycles: pre.Cycles}
 	agg := core.Stats{}
 	var cpis, ipcs []float64
-	for i, jb := range all {
+	for i, jb := range pl.all {
 		if jb.err != nil {
 			return nil, fmt.Errorf("sample: interval %d (insts %d+): %w", i, jb.iv.Start, jb.err)
 		}
@@ -438,7 +483,7 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	ex := pre.Add(&sc)
 	ex.RetiredInsts = total // the ratio is exact here; don't let rounding drift it
 	ex.HaltRetired = w.Halted()
-	tm.DetailedSeconds = float64(detNS.Load()) / 1e9
+	tm.DetailedSeconds = float64(pl.detNS.Load()) / 1e9
 	tm.ExtrapolateSeconds = time.Since(tExtrap).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
 	res.Timing = tm
 	res.WallSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- WallSeconds is excluded from golden tables

@@ -1,0 +1,120 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Canonical guards the result-cache key: core.Config.Canonical() is the
+// normalization that decides which configurations share a cached
+// simulation, so a Config field it silently ignores is a latent cache
+// aliasing bug — either the new field needs folding/spelling-out logic,
+// or it is a pass-through key component and the author must say so. The
+// analyzer requires every field of the receiver struct of a
+// Canonical() method to be mentioned in the method body (read or
+// assigned; pass-through fields ride along in the returned copy either
+// way) or be named in a waiver directive:
+//
+//	//dmp:nocanon FieldA FieldB -- reason
+var Canonical = &Analyzer{
+	Name:     "canonical",
+	Doc:      "every Config field must be handled in Canonical() or carry a //dmp:nocanon waiver",
+	Packages: []string{"dmp/internal/core"},
+	Run:      runCanonical,
+}
+
+func runCanonical(pass *Pass) {
+	waived := nocanonFields(pass.Files)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Canonical" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := recvNamed(pass.Info, fd)
+			if recv == nil {
+				continue
+			}
+			st, ok := recv.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			mentioned := fieldMentions(pass.Info, fd.Body, recv)
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if mentioned[f.Name()] || waived[f.Name()] {
+					continue
+				}
+				pass.Reportf(f.Pos(),
+					"field %s is not handled in %s.Canonical(): normalize it there or waive it with //dmp:nocanon %s -- reason",
+					f.Name(), recv.Obj().Name(), f.Name())
+			}
+		}
+	}
+}
+
+// recvNamed resolves a method's receiver to its named type (through one
+// level of pointer), or nil.
+func recvNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fieldMentions collects the names of recv's fields selected anywhere in
+// body — reads and writes both count: a field the method assigns is
+// being normalized, a field it reads informs the normalization, and a
+// field it does neither with is exactly the hazard being flagged.
+func fieldMentions(info *types.Info, body *ast.BlockStmt, recv *types.Named) map[string]bool {
+	mentioned := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		t := s.Recv()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() == recv.Obj() {
+			mentioned[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return mentioned
+}
+
+// nocanonFields collects every field name waived by a
+// "//dmp:nocanon Field... -- reason" directive in the package.
+func nocanonFields(files []*ast.File) map[string]bool {
+	const directive = "//dmp:nocanon"
+	out := map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directive) {
+					continue
+				}
+				rest := c.Text[len(directive):]
+				if reason := strings.Index(rest, "--"); reason >= 0 {
+					rest = rest[:reason]
+				}
+				for _, name := range strings.Fields(rest) {
+					out[strings.Trim(name, ",")] = true
+				}
+			}
+		}
+	}
+	return out
+}

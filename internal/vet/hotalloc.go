@@ -30,7 +30,7 @@ func kindWord(t types.Type) string {
 var HotAlloc = &Analyzer{
 	Name:     "hotalloc",
 	Doc:      "flag sorting, per-cycle allocation, and unguarded probe hooks in the pipeline loop",
-	Packages: []string{"dmp/internal/core", "dmp/internal/obs", "dmp/internal/merge"},
+	Packages: []string{"dmp/internal/core", "dmp/internal/obs", "dmp/internal/merge", "dmp/internal/cow", "dmp/internal/sample"},
 	Run:      runHotAlloc,
 }
 

@@ -1,0 +1,46 @@
+// Package canon is the fixture for the canonical analyzer.
+package canon
+
+// Config mimics core.Config: some fields are normalized in Canonical,
+// some are waived pass-through key components, and some are silently
+// ignored — the bug class the analyzer exists to catch.
+type Config struct {
+	Mode  int
+	Name  string
+	Width int
+	Depth int  // want "field Depth is not handled in Config.Canonical"
+	debug bool // want "field debug is not handled in Config.Canonical"
+}
+
+// Canonical normalizes Name and folds Mode; Width is waived below; Depth
+// and debug are forgotten.
+//
+//dmp:nocanon Width -- pass-through key component: distinct widths are distinct simulations
+func (c Config) Canonical() Config {
+	if c.Name == "" {
+		c.Name = "default"
+	}
+	if c.Mode > 3 {
+		c.Mode = 0
+	}
+	return c
+}
+
+// Plain has no Canonical method, so the analyzer requires nothing of it.
+type Plain struct{ X, Y int }
+
+// Ptr exercises the pointer-receiver form: every field is mentioned
+// (reads and writes both count), so it is clean.
+type Ptr struct {
+	A int
+	B int
+}
+
+// Canonical with a pointer receiver; A is read, B is written.
+func (p *Ptr) Canonical() Ptr {
+	q := *p
+	if q.A > 0 {
+		q.B = 0
+	}
+	return q
+}

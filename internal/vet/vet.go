@@ -17,6 +17,10 @@
 //   - hotalloc: PR 1 removed per-cycle sorting and heap allocation from
 //     the pipeline loop; this analyzer keeps them out. Functions marked
 //     with a `//dmp:hotpath` doc directive must not allocate.
+//   - canonical: core.Config.Canonical() is the result-cache key
+//     normalizer; a Config field it ignores silently aliases distinct
+//     simulations in the cache. Every field must be handled there or
+//     waived with a `//dmp:nocanon Field -- reason` directive.
 //
 // A finding can be locally waived with a directive comment on the same
 // line or the line directly above:
@@ -106,7 +110,7 @@ func (d Diagnostic) String() string {
 
 // DefaultAnalyzers returns the full suite in stable order.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{FrozenStats, Nondeterminism, HotAlloc}
+	return []*Analyzer{FrozenStats, Nondeterminism, HotAlloc, Canonical}
 }
 
 // Check loads every package under the module root and runs the analyzers

@@ -92,6 +92,7 @@ func checkFixture(t *testing.T, a *Analyzer, fixture string) {
 func TestFrozenStatsFixture(t *testing.T)    { checkFixture(t, FrozenStats, "frozen") }
 func TestNondeterminismFixture(t *testing.T) { checkFixture(t, Nondeterminism, "nondet") }
 func TestHotAllocFixture(t *testing.T)       { checkFixture(t, HotAlloc, "hotpath") }
+func TestCanonicalFixture(t *testing.T)      { checkFixture(t, Canonical, "canon") }
 
 func TestParseAllow(t *testing.T) {
 	for _, tc := range []struct {
@@ -134,6 +135,18 @@ func TestAnalyzerApplies(t *testing.T) {
 	}
 	if HotAlloc.applies("dmp/cmd/dmpobs") {
 		t.Error("hotalloc must not run on the offline summarizer")
+	}
+	if !HotAlloc.applies("dmp/internal/cow") {
+		t.Error("hotalloc must run on the copy-on-write tables (checkpoint clones ride the hot path)")
+	}
+	if !HotAlloc.applies("dmp/internal/sample") {
+		t.Error("hotalloc must run on the sampling driver's consumer loop")
+	}
+	if !Canonical.applies("dmp/internal/core") {
+		t.Error("canonical must run on core (Config.Canonical lives there)")
+	}
+	if Canonical.applies("dmp/internal/exp") {
+		t.Error("canonical is scoped to the package defining the cache key")
 	}
 }
 

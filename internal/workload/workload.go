@@ -16,7 +16,10 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
+	"dmp/internal/gen"
 	"dmp/internal/isa"
 	"dmp/internal/prog"
 )
@@ -80,13 +83,54 @@ func Names() []string {
 	return want
 }
 
-// ByName returns a workload or an error.
+// GenPrefix selects the generated-workload source: "gen:SEED" builds
+// internal/gen's lint-clean random program for that structure seed.
+const GenPrefix = "gen:"
+
+// ByName returns a workload or an error. Besides the fifteen registered
+// benchmarks, names of the form "gen:SEED" (any uint64 seed) synthesize
+// a workload from the internal/gen program generator on the fly: the
+// structure seed fixes the code image, BuildConfig.Seed drives only the
+// data contents (so the train/ref annotation transfer applies as usual),
+// and Scale multiplies the driver-loop trip count. Generated workloads
+// are not in Names()/All() — they are an unbounded population, not part
+// of the paper's fixed suite.
 func ByName(name string) (*Workload, error) {
+	if strings.HasPrefix(name, GenPrefix) {
+		return genWorkload(name)
+	}
 	w := registry[name]
 	if w == nil {
-		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v or %sSEED)", name, Names(), GenPrefix)
 	}
 	return w, nil
+}
+
+// genWorkload builds the on-the-fly Workload for a "gen:SEED" name. The
+// program is emitted unannotated: like the hand-built benchmarks it gets
+// its diverge annotations from the profiling pass (internal/exp), so the
+// annotated/dynamic/hybrid comparison is apples-to-apples. (The
+// generator's own synthesized annotations are exercised by internal/gen's
+// differential harness instead.)
+func genWorkload(name string) (*Workload, error) {
+	seed, err := strconv.ParseUint(strings.TrimPrefix(name, GenPrefix), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("workload: bad generated-workload name %q (want %sSEED): %v", name, GenPrefix, err)
+	}
+	return &Workload{
+		Name: name,
+		Desc: fmt.Sprintf("generated lint-clean workload (structure seed %d)", seed),
+		Build: func(c BuildConfig) *prog.Program {
+			c = c.norm()
+			o := gen.DefaultOptions(seed)
+			o.Annotate = false
+			o.DataSeed = c.Seed
+			// ~200 driver trips per scale unit lands generated workloads
+			// in the same dynamic-length band as the hand-built suite.
+			o.Iters = 200 * c.Scale
+			return gen.Generate(o)
+		},
+	}, nil
 }
 
 // All returns the workloads in paper order.
