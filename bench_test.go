@@ -25,6 +25,7 @@ import (
 	"dmp/internal/exp"
 	"dmp/internal/obs"
 	"dmp/internal/profile"
+	"dmp/internal/telemetry"
 	"dmp/internal/workload"
 )
 
@@ -367,6 +368,45 @@ func BenchmarkObserverOverhead(b *testing.B) {
 			)
 		})
 	})
+}
+
+// BenchmarkTelemetryOverhead pins the cost of the host-side telemetry
+// layer (internal/telemetry) on its instrumented hot paths: the result
+// cache + worker pool in internal/exp and the sampled-simulation
+// pipeline in internal/sample. "disabled" is the shipping default — no
+// Set enabled, the metric atomics still tick, every span/feed site is
+// a nil check — and must stay within noise (<2%, recorded in
+// BENCH_telemetry.json) of the tree before telemetry existed.
+// "attached" enables a full Set with spans and feed events into
+// io.Discard and bounds the price of turning telemetry on. The
+// workload is the sampling experiment: exact golden runs through the
+// result cache plus one sampled pipeline per benchmark, the densest
+// emission path (per-interval spans from the consumer loop).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		for i := 0; i < b.N; i++ {
+			exp.ResetResults()
+			o := benchOpts()
+			var set *telemetry.Set
+			if attach {
+				set = telemetry.New(telemetry.Options{SpanW: io.Discard, EventW: io.Discard})
+				telemetry.Enable(set)
+				o.Span = set.Tracer().Begin("bench", "exp")
+			}
+			if _, err := exp.Sampling(o); err != nil {
+				b.Fatal(err)
+			}
+			if attach {
+				o.Span.End()
+				if _, err := set.Close(); err != nil {
+					b.Fatal(err)
+				}
+				telemetry.Enable(nil)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("attached", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkMergePredictorOverhead pins the cost of feeding the

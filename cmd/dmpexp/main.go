@@ -28,6 +28,17 @@
 // experiment. Tables print to stdout in the requested order regardless of
 // completion order; per-experiment timing and the cache hit/miss summary
 // go to stderr so stdout stays byte-stable for golden diffs.
+//
+// -telemetry attaches the host-side telemetry layer (internal/telemetry):
+// a live single-line progress renderer on stderr (cache hits/misses,
+// experiments completed) replaces the per-experiment timing lines, and
+// scheduler/result-cache/sampling metrics are collected process-wide.
+// -telemetry-out DIR (implies -telemetry) additionally records the
+// artifacts: spans.json (Chrome trace of suite → experiment → simulation
+// → sample-pipeline stages, Perfetto-loadable), events.jsonl (the
+// structured progress feed), and metrics.json/metrics.prom (final metric
+// snapshot). Validate and summarize with dmpobs -telemetry DIR. Attached
+// telemetry never perturbs results — stdout stays golden-identical.
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 	"dmp/internal/lint"
 	"dmp/internal/obs"
 	"dmp/internal/prog"
+	"dmp/internal/telemetry"
 	"dmp/internal/workload"
 )
 
@@ -73,6 +85,9 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a host heap profile to this file at exit")
 		exectrace  = flag.String("trace", "", "write a host runtime execution trace to this file")
+
+		telemetryOn  = flag.Bool("telemetry", false, "attach host-side telemetry: live progress line, metrics, spans")
+		telemetryOut = flag.String("telemetry-out", "", "record telemetry artifacts (spans.json, events.jsonl, metrics.json/.prom) in this directory; implies -telemetry")
 	)
 	flag.Parse()
 
@@ -163,6 +178,38 @@ func main() {
 		}
 	}
 
+	// Telemetry attach: the Set is process-global (Enable), so the result
+	// cache, worker pool, sampling pipeline and differential harness all
+	// report into it without plumbing. With it on, the structured feed
+	// (and its live progress line) replaces the ad-hoc per-experiment
+	// stderr timing lines; stdout is untouched either way.
+	var (
+		tel      *telemetry.Set
+		progress *telemetry.Progress
+		rootSpan *telemetry.Span
+	)
+	if *telemetryOut != "" {
+		*telemetryOn = true
+	}
+	if *telemetryOn {
+		if *telemetryOut != "" {
+			var terr error
+			tel, terr = telemetry.OpenDir(*telemetryOut)
+			if terr != nil {
+				fmt.Fprintf(os.Stderr, "dmpexp: telemetry: %v\n", terr)
+				exit(1)
+			}
+		} else {
+			tel = telemetry.New(telemetry.Options{})
+		}
+		progress = telemetry.NewProgress(os.Stderr, telemetry.IsTerminal(os.Stderr))
+		tel.Feed().Subscribe(progress.Event)
+		telemetry.Enable(tel)
+		rootSpan = tel.Tracer().Begin("dmpexp", "exp")
+		tel.Feed().Emit(telemetry.Event{Kind: "run-start", Name: "dmpexp",
+			Msg: fmt.Sprintf("scale %d, %s", opts.Scale, strings.Join(ids, " "))})
+	}
+
 	type result struct {
 		table   *exp.Table
 		err     error
@@ -182,12 +229,23 @@ func main() {
 		go func(id string, r *result) {
 			defer close(r.done)
 			t0 := time.Now()
+			o := opts
+			var sp *telemetry.Span
+			if tel != nil {
+				sp = rootSpan.ChildAsync(id, "exp")
+				o.Span = sp
+				tel.Feed().Emit(telemetry.Event{Kind: "experiment", Name: id, Msg: "start"})
+			}
 			if id == "sampling" && needRep {
-				r.table, sampleRep, r.err = exp.SamplingReport(opts)
+				r.table, sampleRep, r.err = exp.SamplingReport(o)
 			} else {
-				r.table, r.err = exp.All[id](opts)
+				r.table, r.err = exp.All[id](o)
 			}
 			r.elapsed = time.Since(t0)
+			sp.End()
+			if tel != nil {
+				tel.Feed().Emit(telemetry.Event{Kind: "experiment", Name: id, Msg: "done", V: r.elapsed.Seconds()})
+			}
 		}(id, r)
 	}
 
@@ -206,7 +264,31 @@ func main() {
 		}
 		fmt.Print(r.table.String())
 		fmt.Println()
-		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", id, r.elapsed.Seconds())
+		if tel != nil {
+			// The feed (and its progress line) carries what the ad-hoc
+			// stderr timing line used to; a metrics delta per presented
+			// experiment gives the event stream checkpoints dmpobs can sum.
+			tel.Feed().Emit(telemetry.Event{Kind: "progress",
+				N: uint64(i + 1), V: float64(len(ids)), Msg: id})
+			tel.EmitMetrics()
+		} else {
+			fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", id, r.elapsed.Seconds())
+		}
+	}
+	if tel != nil {
+		tel.Feed().Emit(telemetry.Event{Kind: "run-end", V: time.Since(start).Seconds()})
+		rootSpan.End()
+		snap, terr := tel.Close()
+		progress.Finish()
+		telemetry.Enable(nil)
+		if terr != nil {
+			fmt.Fprintf(os.Stderr, "dmpexp: telemetry: %v\n", terr)
+		}
+		if *telemetryOut != "" {
+			if err := telemetry.WriteMetricsDir(*telemetryOut, snap); err != nil {
+				fmt.Fprintf(os.Stderr, "dmpexp: telemetry: %v\n", err)
+			}
+		}
 	}
 	hits, misses := exp.SimCounts()
 	fmt.Fprintf(os.Stderr, "total %.1fs; result cache: %d simulations, %d reused\n",

@@ -5,6 +5,7 @@
 //	dmpobs -events mcf.events.jsonl   # episode timeline summary
 //	dmpobs -validate mcf.trace.json   # check a Chrome trace parses
 //	dmpobs -manifest mcf.sample.json  # validate a sampled run's manifest
+//	dmpobs -telemetry telemetry/      # validate a -telemetry-out directory
 //
 // -events reads an episode timeline (dmpsim -events) and prints
 // per-event totals, the Table-1 exit-case breakdown, mean alternate-path
@@ -15,7 +16,11 @@
 // run's interval manifest (dmpsim -sample-manifest) for internal
 // consistency — interval count, detailed-instruction accounting,
 // per-interval IPC arithmetic, monotonic interval placement — and prints
-// a summary, exiting nonzero on any violation.
+// a summary, exiting nonzero on any violation. -telemetry checks the
+// artifact directory a dmpexp/dmpsim -telemetry-out run records: span
+// nesting in spans.json is well-formed, the event stream in
+// events.jsonl is properly framed, and the streamed metrics deltas fold
+// back into exactly the finals in metrics.json.
 package main
 
 import (
@@ -51,11 +56,12 @@ func main() {
 		events   = flag.String("events", "", "summarize this episode timeline (JSONL from dmpsim -events)")
 		validate = flag.String("validate", "", "parse this Chrome trace JSON (from dmpsim -pipetrace x.json) and report its event count")
 		manifest = flag.String("manifest", "", "validate this sampled-run interval manifest (from dmpsim -sample-manifest)")
+		telem    = flag.String("telemetry", "", "validate this telemetry artifact directory (from dmpexp/dmpsim -telemetry-out)")
 	)
 	flag.Parse()
 
-	if *events == "" && *validate == "" && *manifest == "" {
-		fmt.Fprintln(os.Stderr, "dmpobs: need -events, -validate or -manifest (see -help)")
+	if *events == "" && *validate == "" && *manifest == "" && *telem == "" {
+		fmt.Fprintln(os.Stderr, "dmpobs: need -events, -validate, -manifest or -telemetry (see -help)")
 		os.Exit(2)
 	}
 	if *validate != "" {
@@ -67,6 +73,12 @@ func main() {
 	if *manifest != "" {
 		if err := validateManifest(*manifest); err != nil {
 			fmt.Fprintf(os.Stderr, "dmpobs: %s: %v\n", *manifest, err)
+			os.Exit(1)
+		}
+	}
+	if *telem != "" {
+		if err := validateTelemetry(*telem); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpobs: %s: %v\n", *telem, err)
 			os.Exit(1)
 		}
 	}
@@ -101,6 +113,11 @@ func validateManifest(path string) error {
 	fmt.Printf("  %d insts: prefix %d exact, %d intervals of ~%d (detailed %.1f%%), period %d\n",
 		m.TotalInsts, m.PrefRetired, m.K, m.IntervalLen, detPct, m.Period)
 	fmt.Printf("  IPC estimate %.3f ± %.3f (95%% CI; interval mean %.3f)\n", m.IPC, m.CI95, m.IPCMean)
+	if tm := m.Timing; tm != nil {
+		total := tm.PrefixSeconds + tm.WarmSeconds + tm.SnapshotSeconds + tm.DetailedSeconds + tm.ExtrapolateSeconds
+		fmt.Printf("  host time %.3fs: prefix %.3f, warm %.3f, snapshot %.3f, detailed %.3f, extrapolate %.3f\n",
+			total, tm.PrefixSeconds, tm.WarmSeconds, tm.SnapshotSeconds, tm.DetailedSeconds, tm.ExtrapolateSeconds)
+	}
 	return nil
 }
 

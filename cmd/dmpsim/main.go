@@ -37,6 +37,13 @@
 // -interval writes an interval Stats CSV every N cycles. A progress
 // heartbeat prints on stderr every few seconds unless -q.
 // -cpuprofile/-memprofile/-trace profile the simulator itself.
+//
+// -telemetry attaches the host-side telemetry layer (internal/telemetry);
+// -telemetry-out DIR (implies -telemetry) records spans.json (host spans:
+// run, and for -sample the prefix/warm/extrapolate stages plus every
+// snapshot and interval job — loadable into one Perfetto timeline with a
+// -pipetrace), events.jsonl and metrics.json/.prom. Validate with dmpobs
+// -telemetry DIR. Attached telemetry never changes the printed Stats.
 package main
 
 import (
@@ -54,6 +61,7 @@ import (
 	"dmp/internal/profile"
 	"dmp/internal/prog"
 	"dmp/internal/sample"
+	"dmp/internal/telemetry"
 	"dmp/internal/workload"
 )
 
@@ -95,6 +103,9 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a host CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a host heap profile to this file at exit")
 		exectrace   = flag.String("trace", "", "write a host runtime execution trace to this file")
+
+		telemetryOn  = flag.Bool("telemetry", false, "attach host-side telemetry (metrics, spans, progress feed)")
+		telemetryOut = flag.String("telemetry-out", "", "record telemetry artifacts (spans.json, events.jsonl, metrics.json/.prom) in this directory; implies -telemetry")
 	)
 	flag.Parse()
 
@@ -193,11 +204,51 @@ func main() {
 		fatal("profiling: %v", err)
 	}
 
+	// Telemetry attach: one root span for the run; a sampled run hangs
+	// its stage spans and interval jobs under it. finishTelemetry closes
+	// the set and records the metrics artifacts.
+	var tel *telemetry.Set
+	var rootSpan *telemetry.Span
+	if *telemetryOut != "" {
+		*telemetryOn = true
+	}
+	if *telemetryOn {
+		if *telemetryOut != "" {
+			tel, err = telemetry.OpenDir(*telemetryOut)
+			if err != nil {
+				fatal("telemetry: %v", err)
+			}
+		} else {
+			tel = telemetry.New(telemetry.Options{})
+		}
+		telemetry.Enable(tel)
+		rootSpan = tel.Tracer().Begin("dmpsim", "sim")
+		tel.Feed().Emit(telemetry.Event{Kind: "run-start", Name: "dmpsim",
+			Msg: fmt.Sprintf("%s %s scale %d", benchName(*bench, *asm), *mode, *scale)})
+	}
+	finishTelemetry := func() {
+		if tel == nil {
+			return
+		}
+		tel.Feed().Emit(telemetry.Event{Kind: "run-end"})
+		rootSpan.End()
+		snap, err := tel.Close()
+		telemetry.Enable(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmpsim: telemetry: %v\n", err)
+		}
+		if *telemetryOut != "" {
+			if err := telemetry.WriteMetricsDir(*telemetryOut, snap); err != nil {
+				fmt.Fprintf(os.Stderr, "dmpsim: telemetry: %v\n", err)
+			}
+		}
+	}
+
 	if *doSample {
 		if *pipetrace != "" || *events != "" || *interval != 0 {
 			fatal("-pipetrace/-events/-interval trace exact runs; they are not available with -sample")
 		}
-		r, err := sample.Run(p, cfg, sample.Options{})
+		r, err := sample.Run(p, cfg, sample.Options{Span: rootSpan})
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -219,6 +270,7 @@ func main() {
 			fmt.Print(mergeStatsLine(r.Extrapolated))
 		}
 		printHostThroughput(p, cfg.MaxInsts, float64(r.TotalInsts)/r.WallSeconds)
+		finishTelemetry()
 		if err := stopProfiles(); err != nil {
 			fmt.Fprintf(os.Stderr, "dmpsim: profiling: %v\n", err)
 		}
@@ -278,12 +330,15 @@ func main() {
 	if len(probes) > 0 {
 		m.SetProbe(obs.Tee(probes...))
 	}
+	runSpan := rootSpan.Child("run", "sim")
 	st, runErr := m.Run()
+	runSpan.End()
 	for _, s := range sinks {
 		if err := s.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "dmpsim: closing sink: %v\n", err)
 		}
 	}
+	finishTelemetry()
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "dmpsim: profiling: %v\n", err)
 	}
@@ -297,6 +352,15 @@ func main() {
 	if st.WallSeconds > 0 {
 		printHostThroughput(p, cfg.MaxInsts, float64(st.RetiredInsts)/st.WallSeconds)
 	}
+}
+
+// benchName names the workload for telemetry: the benchmark if one was
+// given, else the assembly file.
+func benchName(bench, asm string) string {
+	if bench != "" {
+		return bench
+	}
+	return asm
 }
 
 // setSampling validates and applies the -sample* flags. Split out of

@@ -21,6 +21,7 @@ import (
 	"dmp/internal/core"
 	"dmp/internal/profile"
 	"dmp/internal/prog"
+	"dmp/internal/telemetry"
 	"dmp/internal/workload"
 )
 
@@ -47,6 +48,11 @@ type Options struct {
 	SampleInterval uint64
 	SampleWarmup   uint64
 	SampleWarmMode string
+	// Span, when non-nil, is the telemetry parent span for this
+	// experiment's simulations (each runs as an async child on its own
+	// trace lane). It is host-side observability only: never part of any
+	// cache key, never consulted by the simulator.
+	Span *telemetry.Span
 }
 
 // DefaultOptions returns the standard experiment configuration.

@@ -137,6 +137,10 @@ type SampleBench struct {
 	// Speedup is simulated instructions per host second, sampled over
 	// exact (same program, so also the wall-clock ratio).
 	Speedup float64 `json:"speedup"`
+	// Timing is the sampled run's host time breakdown by stage
+	// (wall-clock dependent), so the report can be cross-checked against
+	// the telemetry span data and stage histograms.
+	Timing sample.Timing `json:"timing"`
 }
 
 // SampleReport aggregates the per-benchmark validation for
@@ -203,7 +207,7 @@ func SamplingReport(o Options) (*Table, *SampleReport, error) {
 			// further slots from the same pool and fall back inline.
 			slots <- struct{}{}
 			defer func() { <-slots }()
-			results[i], errs[i] = sample.Run(p, sCfg, sample.Options{Slots: slots})
+			results[i], errs[i] = sample.Run(p, sCfg, sample.Options{Slots: slots, Span: o.Span})
 			if errs[i] != nil {
 				errs[i] = fmt.Errorf("%s: %w", bench, errs[i])
 			}
@@ -239,6 +243,7 @@ func SamplingReport(o Options) (*Table, *SampleReport, error) {
 			K:          r.K,
 			ExactWall:  ex.WallSeconds,
 			SampleWall: r.WallSeconds,
+			Timing:     r.Timing,
 		}
 		b.ErrPct = 100 * (r.IPC - b.ExactIPC) / b.ExactIPC
 		if ex.WallSeconds > 0 {

@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmp/internal/core"
 	"dmp/internal/sample"
+	"dmp/internal/telemetry"
 )
 
 // Simulation results are memoized process-wide, one entry per unique
@@ -97,19 +99,51 @@ func runOneCached(bench string, cfg core.Config, o Options, loops bool) (*core.S
 	v, _ := simCache.LoadOrStore(key, &simEntry{})
 	e := v.(*simEntry)
 	hit := true
+	t0 := time.Now() //dmp:allow nondeterminism -- host telemetry only; never reaches Stats or tables
 	e.once.Do(func() {
 		hit = false
 		simMisses.Add(1)
+		mSimMisses.Inc()
+		tel := telemetry.Active()
+		var label string
+		var sp *telemetry.Span
+		if tel != nil {
+			label = simLabel(bench, cfg, loops)
+			tel.Feed().Emit(telemetry.Event{Kind: "simulation", Name: label, Msg: "miss"})
+			// The simulation gets its own trace lane: pooled simulations
+			// from one experiment overlap each other and their parent.
+			sp = o.Span.ChildAsync(label, "exp")
+		}
 		slots := workerSlots(o.Parallel)
+		mPoolQueued.Add(1)
 		slots <- struct{}{}
-		defer func() { <-slots }()
-		e.st, e.err = simulate(bench, cfg, o, loops)
+		mPoolQueued.Add(-1)
+		mSlotWait.Observe(time.Since(t0).Seconds()) //dmp:allow nondeterminism -- host telemetry only
+		mPoolBusy.Add(1)
+		defer func() { mPoolBusy.Add(-1); <-slots }()
+		so := o
+		so.Span = sp // sampled runs hang their stage spans under the simulation
+		e.st, e.err = simulate(bench, cfg, so, loops)
 		if e.err == nil {
 			e.frozen = *e.st
+		}
+		sp.End()
+		elapsed := time.Since(t0).Seconds() //dmp:allow nondeterminism -- host telemetry only
+		mSimSeconds.Observe(elapsed)
+		if tel != nil {
+			tel.Feed().Emit(telemetry.Event{Kind: "simulation", Name: label, Msg: "done", V: elapsed})
 		}
 	})
 	if hit {
 		simHits.Add(1)
+		mSimHits.Inc()
+		// Covers both flavors of hit: an instant lookup of a completed
+		// entry (~0) and blocking on another request's in-flight
+		// simulation (the singleflight case the histogram exists for).
+		mSingleflightWait.Observe(time.Since(t0).Seconds()) //dmp:allow nondeterminism -- host telemetry only
+		if tel := telemetry.Active(); tel != nil {
+			tel.Feed().Emit(telemetry.Event{Kind: "simulation", Name: simLabel(bench, cfg, loops), Msg: "hit"})
+		}
 		if e.err == nil && *e.st != e.frozen {
 			panic(fmt.Sprintf("exp: cached Stats for %s/%v (scale %d) were mutated; cached results are frozen — use Stats.Clone",
 				bench, cfg.Mode, o.Scale))
@@ -134,7 +168,7 @@ func simulate(bench string, cfg core.Config, o Options, loops bool) (*core.Stats
 		// The calling goroutine holds a worker slot for the whole sampled
 		// run; handing the pool down lets interval jobs use idle slots
 		// (try-acquire — a full pool runs intervals inline, no deadlock).
-		res, err := sample.Run(p, cfg, sample.Options{Slots: workerSlots(o.Parallel)})
+		res, err := sample.Run(p, cfg, sample.Options{Slots: workerSlots(o.Parallel), Span: o.Span})
 		if err != nil {
 			return nil, fmt.Errorf("under %v: %w", cfg.Mode, err)
 		}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+
+	"dmp/internal/core"
+	"dmp/internal/telemetry"
+)
+
+// Host-side telemetry for the result cache and the global worker pool.
+// The metrics are always-on atomics (an add is cheaper than a
+// branch-and-load, and runOneCached is called per simulation request,
+// not per simulated cycle); spans and feed events, which allocate and
+// write, are emitted only when a telemetry.Set is active. Nothing here
+// reads or writes simulator state, which is what keeps the golden
+// tables byte-identical with telemetry attached (the no-perturbation
+// contract, pinned by TestTelemetryDoesNotPerturb).
+var (
+	mSimHits = telemetry.NewCounter("dmp_exp_simcache_hits_total",
+		"result-cache requests served from a completed or in-flight simulation")
+	mSimMisses = telemetry.NewCounter("dmp_exp_simcache_misses_total",
+		"result-cache requests that ran a new simulation")
+	mSingleflightWait = telemetry.NewHistogram("dmp_exp_singleflight_wait_seconds",
+		"time a cache hit spent blocked on another request's in-flight simulation",
+		telemetry.SecondsBuckets())
+	mSlotWait = telemetry.NewHistogram("dmp_exp_slot_wait_seconds",
+		"time a simulation spent queued for a global worker-pool slot",
+		telemetry.SecondsBuckets())
+	mSimSeconds = telemetry.NewHistogram("dmp_exp_simulation_seconds",
+		"wall time of each uncached simulation, slot acquisition included",
+		telemetry.SecondsBuckets())
+	mPoolQueued = telemetry.NewGauge("dmp_exp_pool_queued",
+		"simulations currently waiting for a worker-pool slot")
+	mPoolBusy = telemetry.NewGauge("dmp_exp_pool_busy",
+		"worker-pool slots currently running a simulation")
+)
+
+// simLabel names one simulation for spans and feed events: benchmark,
+// machine mode, and the cache-key variants that change what actually
+// runs. Only called with telemetry active (it allocates).
+func simLabel(bench string, cfg core.Config, loops bool) string {
+	l := fmt.Sprintf("%s/%v", bench, cfg.Mode)
+	if cfg.CFMSource != "" && cfg.CFMSource != "annotated" {
+		l += "/" + cfg.CFMSource
+	}
+	if loops {
+		l += "/loops"
+	}
+	if cfg.SampleMode {
+		l += "/sampled"
+	}
+	return l
+}

@@ -8,6 +8,7 @@ package diff
 
 import (
 	"fmt"
+	"time"
 
 	"dmp/internal/core"
 	"dmp/internal/emu"
@@ -16,6 +17,7 @@ import (
 	"dmp/internal/lint"
 	"dmp/internal/prog"
 	"dmp/internal/sample"
+	"dmp/internal/telemetry"
 )
 
 // Divergence is one differential-harness finding. Stage identifies which
@@ -117,6 +119,23 @@ func (o DiffOptions) norm() DiffOptions {
 // every leg agrees.
 func Verify(p *prog.Program, o DiffOptions) *Divergence {
 	o = o.norm()
+	t0 := time.Now()
+	defer func() { mVerifySeconds.Observe(time.Since(t0).Seconds()) }()
+	div := verify(p, o)
+	if div == nil {
+		mSeedsVerified.Inc()
+	} else {
+		mDivergences.Inc()
+		if tel := telemetry.Active(); tel != nil {
+			tel.Feed().Emit(telemetry.Event{Kind: "diff", Name: div.Stage,
+				N: mSeedsVerified.Value(), Msg: div.Error()})
+		}
+	}
+	return div
+}
+
+// verify is the uninstrumented sweep behind Verify.
+func verify(p *prog.Program, o DiffOptions) *Divergence {
 
 	// Leg 1: lint. Generated programs are diagnostic-clean by
 	// construction, warnings included.

@@ -1,0 +1,16 @@
+package diff
+
+import "dmp/internal/telemetry"
+
+// Telemetry for the differential harness: dmpgen's sweep rate
+// (seeds/sec from the verified counter over a run's wall time) and the
+// divergence tally. Host-side only; verification outcomes are
+// unaffected.
+var (
+	mSeedsVerified = telemetry.NewCounter("dmp_diff_seeds_verified_total",
+		"generated programs swept through the full differential matrix without a finding")
+	mDivergences = telemetry.NewCounter("dmp_diff_divergences_total",
+		"differential findings across all stages")
+	mVerifySeconds = telemetry.NewHistogram("dmp_diff_verify_seconds",
+		"wall time of one program's full differential sweep", telemetry.SecondsBuckets())
+)

@@ -13,7 +13,10 @@ import (
 // simulator throughput (Mcycles/s and retired MIPS) over the interval.
 // It rides the probe's cycle-gated Tick, so it runs on the simulation
 // goroutine — no timers, no extra goroutines, no locking — and its
-// time.Now calls happen only every tickEvery cycles.
+// time.Now calls happen only every tickEvery cycles. At the end of the
+// run it prints a final summary (total instructions, cycles, IPC, wall
+// time) — so even a run shorter than one reporting period leaves one
+// line saying what happened.
 type Heartbeat struct {
 	w       io.Writer
 	every   time.Duration
@@ -40,7 +43,14 @@ func NewHeartbeat(w io.Writer, every time.Duration) *Heartbeat {
 
 // Probe returns the probe to attach with Machine.SetProbe (or Tee).
 func (h *Heartbeat) Probe() *core.Probe {
-	return &core.Probe{TickEvery: heartbeatTick, Tick: h.tick}
+	return &core.Probe{TickEvery: heartbeatTick, Tick: h.tick, Done: h.done}
+}
+
+// done prints the end-of-run summary. It runs after Stats is final, so
+// Cycles and WallSeconds are trustworthy here (mid-run they are not).
+func (h *Heartbeat) done(st *core.Stats) {
+	fmt.Fprintf(h.w, "dmpsim: done: retired %d insts in %d cycles (IPC %.3f), %.2fs wall\n",
+		st.RetiredInsts, st.Cycles, st.IPC(), st.WallSeconds)
 }
 
 func (h *Heartbeat) tick(cycle uint64, st *core.Stats) {

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"strconv"
 	"strings"
@@ -210,6 +211,92 @@ func TestTee(t *testing.T) {
 	}
 	if got := Tee(); got.Uop != nil || got.Tick != nil || got.Done != nil {
 		t.Error("empty Tee has callbacks")
+	}
+}
+
+// TestHeartbeatFinalSummary pins the end-of-run summary: a heartbeat
+// whose reporting period never elapses still prints exactly one line —
+// the final totals — and its numbers match the run's Stats. A
+// short-period heartbeat additionally prints progress lines.
+func TestHeartbeatFinalSummary(t *testing.T) {
+	var buf bytes.Buffer
+	hb := NewHeartbeat(&buf, time.Hour)
+	st := runMCF(t, false, hb.Probe())
+	out := buf.String()
+	want := fmt.Sprintf("done: retired %d insts in %d cycles (IPC %.3f)", st.RetiredInsts, st.Cycles, st.IPC())
+	if !strings.Contains(out, want) {
+		t.Errorf("final summary missing or wrong:\n  got  %q\n  want containing %q", out, want)
+	}
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Errorf("hour-period heartbeat printed %d lines, want just the summary:\n%s", n, out)
+	}
+
+	buf.Reset()
+	hb = NewHeartbeat(&buf, time.Nanosecond)
+	runMCF(t, false, hb.Probe())
+	if !strings.Contains(buf.String(), "Mcycles/s") {
+		t.Error("nanosecond-period heartbeat printed no progress lines")
+	}
+	if !strings.Contains(buf.String(), "done: retired") {
+		t.Error("short-period heartbeat lost the final summary")
+	}
+}
+
+// TestTeeTickCadenceEdges covers the Tick-merging corners: a lone
+// tick sink with no cadence gets the default; a zero cadence mixed
+// with a nonzero one is defaulted before the gcd; and huge coprime
+// cadences degrade to a gcd of 1 without wrapping, with each child
+// still firing only on its own multiples.
+func TestTeeTickCadenceEdges(t *testing.T) {
+	fired := func(dst *[]uint64) func(uint64, *core.Stats) {
+		return func(c uint64, _ *core.Stats) { *dst = append(*dst, c) }
+	}
+
+	// Single tick sink, unset cadence: defaulted, passed through.
+	var solo []uint64
+	ps := &core.Probe{Tick: fired(&solo)}
+	if tee := Tee(ps); tee.TickEvery != core.DefaultTickEvery {
+		t.Errorf("solo unset cadence = %d, want default %d", tee.TickEvery, core.DefaultTickEvery)
+	}
+
+	// TickEvery=0 mixed with nonzero: the zero child runs at the
+	// default cadence and the merged cadence is the gcd of the pair.
+	var a, b []uint64
+	def := uint64(core.DefaultTickEvery)
+	pa := &core.Probe{Tick: fired(&a)}
+	pb := &core.Probe{TickEvery: 3 * def, Tick: fired(&b)}
+	tee := Tee(pa, pb)
+	if tee.TickEvery != def {
+		t.Fatalf("merged cadence = %d, want %d", tee.TickEvery, def)
+	}
+	for c := def; c <= 3*def; c += def {
+		tee.Tick(c, nil)
+	}
+	if want := []uint64{def, 2 * def, 3 * def}; !equalU64(a, want) {
+		t.Errorf("defaulted child fired at %v, want %v", a, want)
+	}
+	if want := []uint64{3 * def}; !equalU64(b, want) {
+		t.Errorf("3x child fired at %v, want %v", b, want)
+	}
+
+	// Huge coprime cadences: gcd collapses to 1 (tick every cycle)
+	// and the per-child re-check keeps firing exact near 2^62.
+	var c, d []uint64
+	big := uint64(1) << 62
+	pc := &core.Probe{TickEvery: big, Tick: fired(&c)}
+	pd := &core.Probe{TickEvery: big - 1, Tick: fired(&d)}
+	tee = Tee(pc, pd)
+	if tee.TickEvery != 1 {
+		t.Fatalf("coprime merged cadence = %d, want 1", tee.TickEvery)
+	}
+	tee.Tick(big-1, nil)
+	tee.Tick(big, nil)
+	tee.Tick(2*(big-1), nil)
+	if want := []uint64{big}; !equalU64(c, want) {
+		t.Errorf("2^62 child fired at %v, want %v", c, want)
+	}
+	if want := []uint64{big - 1, 2 * (big - 1)}; !equalU64(d, want) {
+		t.Errorf("2^62-1 child fired at %v, want %v", d, want)
 	}
 }
 

@@ -25,9 +25,16 @@ type Manifest struct {
 	IPCMean     float64    `json:"ipc_mean"`
 	CI95        float64    `json:"ci95"`
 	Intervals   []Interval `json:"intervals"`
+	// Timing is the host time breakdown (wall-clock dependent). It is
+	// nil in Manifest() — the determinism tests byte-compare manifests
+	// across runs, and wall time would differ — and populated only by
+	// WriteManifest, whose output is for humans and dmpobs (which
+	// cross-checks it against span data, never against a golden).
+	Timing *Timing `json:"timing,omitempty"`
 }
 
-// Manifest builds the manifest record for the result.
+// Manifest builds the deterministic manifest record for the result
+// (no wall-clock fields; byte-stable across identical runs).
 func (r *Result) Manifest() Manifest {
 	return Manifest{
 		TotalInsts:  r.TotalInsts,
@@ -47,9 +54,14 @@ func (r *Result) Manifest() Manifest {
 	}
 }
 
-// WriteManifest writes the manifest as indented JSON.
+// WriteManifest writes the manifest as indented JSON, including the
+// wall-clock Timing breakdown (machine-readable form of dmpsim's "time
+// breakdown" line, cross-checkable against telemetry span data).
 func (r *Result) WriteManifest(w io.Writer) error {
-	data, err := json.MarshalIndent(r.Manifest(), "", "  ")
+	m := r.Manifest()
+	tm := r.Timing
+	m.Timing = &tm
+	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -50,6 +50,7 @@ import (
 	"dmp/internal/core"
 	"dmp/internal/emu"
 	"dmp/internal/prog"
+	"dmp/internal/telemetry"
 )
 
 // RampRetired is the unmeasured detailed ramp before each measured
@@ -87,6 +88,11 @@ type Options struct {
 	// streamed path (the determinism tests pin this); the only difference
 	// is wall-clock.
 	Sequential bool
+	// Span, when non-nil, is the telemetry parent span of this run:
+	// per-stage child spans (prefix, warm, extrapolate) and per-job
+	// snapshot/interval events hang under it. Host-side observability
+	// only — never consulted by the sampler itself.
+	Span *telemetry.Span
 }
 
 // Timing is the host wall-clock breakdown of one sampled run, for
@@ -97,17 +103,17 @@ type Options struct {
 // overlap is the point); the remaining fields are producer-side.
 type Timing struct {
 	// PrefixSeconds is the exactly simulated cold-start prefix.
-	PrefixSeconds float64
+	PrefixSeconds float64 `json:"prefix_seconds"`
 	// WarmSeconds is the continuous functional warming pass, including
 	// the untrained fast-forward tail after the last checkpoint.
-	WarmSeconds float64
+	WarmSeconds float64 `json:"warm_seconds"`
 	// SnapshotSeconds is checkpoint capture: architectural Checkpoint
 	// plus the copy-on-write WarmState Snapshot, per period.
-	SnapshotSeconds float64
+	SnapshotSeconds float64 `json:"snapshot_seconds"`
 	// DetailedSeconds sums the detailed interval simulations.
-	DetailedSeconds float64
+	DetailedSeconds float64 `json:"detailed_seconds"`
 	// ExtrapolateSeconds is aggregation and extrapolation at the end.
-	ExtrapolateSeconds float64
+	ExtrapolateSeconds float64 `json:"extrapolate_seconds"`
 }
 
 // Interval is one measured detailed interval.
@@ -217,6 +223,12 @@ type pipeline struct {
 	wg    sync.WaitGroup    // in-flight jobs
 	cwg   sync.WaitGroup    // live consumer goroutines (they hold slots)
 	detNS atomic.Int64      // detailed-simulation wall time
+
+	// tr/spanID carry the attached telemetry tracer (nil when off) and
+	// the run span's id, so runJob can emit per-interval trace events
+	// from scalar arguments behind one nil check.
+	tr     *telemetry.Tracer
+	spanID uint64
 }
 
 // runJob simulates one detailed interval and releases its snapshot
@@ -229,6 +241,11 @@ func (pl *pipeline) runJob(jb *intervalJob) {
 	jb.iv, jb.st, jb.err = runInterval(pl.p, pl.cfg, jb.c, pl.warmup, pl.interval)
 	jb.iv.Index = jb.index
 	jb.c = checkpointAt{}
+	mLiveSnapshots.Add(-1)
+	mIntervals.Inc()
+	if pl.tr != nil {
+		pl.tr.SpanAt("interval", "sample", t0, time.Since(t0), pl.spanID) //dmp:allow nondeterminism -- host telemetry only
+	}
 	pl.detNS.Add(time.Since(t0).Nanoseconds()) //dmp:allow nondeterminism -- Timing is excluded from golden tables
 }
 
@@ -321,6 +338,7 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	period, interval, warmup := cfg.SampleParams()
 	start := time.Now() //dmp:allow nondeterminism -- feeds only WallSeconds, excluded from golden tables
 	maxTotal := cfg.MaxInsts
+	prefSpan := o.Span.Child("prefix", "sample")
 
 	// Detailed prefix: the cold-start region, measured exactly.
 	prefTarget := uint64(PrefixRetired)
@@ -350,6 +368,7 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	prefR := pre.RetiredInsts
 	var tm Timing
 	tm.PrefixSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+	prefSpan.End()
 
 	// Streamed pipeline: the warming pass (producer) hands each
 	// checkpoint to interval workers (consumers) the moment it is
@@ -369,13 +388,15 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	}
 	mcfg := cfg
 	mcfg.MaxInsts = 0 // interval machines are bounded by RunUntil targets
-	pl := &pipeline{p: p, cfg: mcfg, warmup: warmup, interval: interval, slots: slots}
+	pl := &pipeline{p: p, cfg: mcfg, warmup: warmup, interval: interval, slots: slots,
+		tr: o.Span.Tracer(), spanID: o.Span.ID()}
 	if !o.Sequential {
 		pl.jobs = make(chan *intervalJob, cap(slots)+1)
 	}
 
 	// Continuous functional warming pass over [prefR, total), capturing
 	// one checkpoint per period at a stratified pseudo-random offset.
+	warmSpan := o.Span.Child("warm", "sample")
 	w, err := core.NewWarmer(p, cfg)
 	if err != nil {
 		return nil, err
@@ -408,6 +429,10 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 		jb := &intervalJob{index: len(pl.all),
 			c: checkpointAt{start: w.Count(), ck: w.Checkpoint(), ws: w.Snapshot()}}
 		tm.SnapshotSeconds += time.Since(t0).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+		mLiveSnapshots.Add(1)
+		if pl.tr != nil {
+			pl.tr.SpanAt("snapshot", "sample", t0, time.Since(t0), warmSpan.ID()) //dmp:allow nondeterminism -- host telemetry only
+		}
 		pl.dispatch(jb)
 		end := base + period
 		if maxTotal != 0 && end > maxTotal {
@@ -430,6 +455,7 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 		return nil, err
 	}
 	tm.WarmSeconds += time.Since(tTail).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+	warmSpan.End()
 	total := w.Count()
 	// Drain whatever the consumers have not picked up, then wait for the
 	// in-flight ones.
@@ -440,6 +466,7 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	}
 
 	tExtrap := time.Now() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+	exSpan := o.Span.Child("extrapolate", "sample")
 	res := &Result{Period: period, IntervalLen: interval, Warmup: warmup, Ramp: RampRetired,
 		TotalInsts: total, PrefixRetired: prefR, PrefixCycles: pre.Cycles}
 	agg := core.Stats{}
@@ -485,10 +512,12 @@ func Run(p *prog.Program, cfg core.Config, o Options) (*Result, error) {
 	ex.HaltRetired = w.Halted()
 	tm.DetailedSeconds = float64(pl.detNS.Load()) / 1e9
 	tm.ExtrapolateSeconds = time.Since(tExtrap).Seconds() //dmp:allow nondeterminism -- Timing is excluded from golden tables
+	exSpan.End()
 	res.Timing = tm
 	res.WallSeconds = time.Since(start).Seconds() //dmp:allow nondeterminism -- WallSeconds is excluded from golden tables
 	ex.WallSeconds = res.WallSeconds
 	res.Extrapolated = &ex
+	stageTelemetry(tm)
 	return res, nil
 }
 

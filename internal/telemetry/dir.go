@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Artifact names inside a telemetry output directory (-telemetry-out).
+// dmpobs -telemetry reads the same names back.
+const (
+	SpansFile       = "spans.json"   // Chrome trace_event array (Perfetto)
+	EventsFile      = "events.jsonl" // progress feed, one Event per line
+	MetricsFile     = "metrics.json" // final Snapshot as JSON
+	MetricsPromFile = "metrics.prom" // final Snapshot, Prometheus text
+)
+
+// OpenDir creates dir (if needed) and returns a Set writing spans.json
+// and events.jsonl into it; the underlying files close with the Set.
+// The metrics files are written separately by WriteMetricsDir from the
+// snapshot Set.Close returns, so the recorded finals are exactly the
+// snapshot the feed's deltas sum to.
+func OpenDir(dir string) (*Set, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sf, err := os.Create(filepath.Join(dir, SpansFile))
+	if err != nil {
+		return nil, err
+	}
+	ef, err := os.Create(filepath.Join(dir, EventsFile))
+	if err != nil {
+		sf.Close()
+		return nil, err
+	}
+	return New(Options{SpanW: sf, EventW: ef, Closers: []io.Closer{ef, sf}}), nil
+}
+
+// WriteMetricsDir records snap as metrics.json and metrics.prom in dir.
+func WriteMetricsDir(dir string, snap Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, MetricsFile), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, MetricsPromFile))
+	if err != nil {
+		return err
+	}
+	if err := snap.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

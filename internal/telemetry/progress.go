@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress is a live single-line renderer over a Feed: it repaints one
+// status line in place (carriage return, no scroll) on a TTY, or prints
+// occasional plain lines on a pipe. Attach with feed.Subscribe(p.Event)
+// and call Finish when the run ends to terminate the line.
+type Progress struct {
+	w   io.Writer
+	tty bool
+
+	mu       sync.Mutex
+	done     uint64
+	total    float64
+	current  string
+	hits     uint64
+	misses   uint64
+	lastLen  int
+	lastDraw time.Time
+	finished bool
+}
+
+// NewProgress builds a renderer writing to w; tty selects in-place
+// repainting (pass IsTerminal(w)).
+func NewProgress(w io.Writer, tty bool) *Progress {
+	return &Progress{w: w, tty: tty}
+}
+
+// IsTerminal reports whether w is an *os.File on a character device —
+// the stdlib-only TTY check (no termios needed just to pick a render
+// style).
+func IsTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return st.Mode()&os.ModeCharDevice != 0
+}
+
+// Event consumes one feed event; pass it to Feed.Subscribe.
+func (p *Progress) Event(ev Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished {
+		return
+	}
+	switch ev.Kind {
+	case "progress":
+		p.done = ev.N
+		if ev.V > 0 {
+			p.total = ev.V
+		}
+		p.current = ev.Msg
+	case "simulation":
+		switch ev.Msg {
+		case "hit":
+			p.hits++
+		case "miss":
+			p.misses++
+		}
+	case "experiment":
+		if ev.Msg == "start" {
+			p.current = ev.Name
+		}
+	default:
+		return
+	}
+	p.draw(ev.T)
+}
+
+func (p *Progress) draw(t float64) {
+	// Rate-limit repaints: a scale-3 suite emits thousands of events and
+	// a TTY repaint per event is pure flicker.
+	now := time.Now()
+	if now.Sub(p.lastDraw) < 100*time.Millisecond {
+		return
+	}
+	p.lastDraw = now
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%6.1fs]", t)
+	if p.total > 0 {
+		fmt.Fprintf(&b, " %d/%d", p.done, uint64(p.total))
+	} else if p.done > 0 {
+		fmt.Fprintf(&b, " %d done", p.done)
+	}
+	if p.hits+p.misses > 0 {
+		fmt.Fprintf(&b, " · cache %d hit %d miss", p.hits, p.misses)
+	}
+	if p.current != "" {
+		fmt.Fprintf(&b, " · %s", p.current)
+	}
+	line := b.String()
+	if p.tty {
+		pad := ""
+		if n := p.lastLen - len(line); n > 0 {
+			pad = strings.Repeat(" ", n)
+		}
+		fmt.Fprintf(p.w, "\r%s%s", line, pad)
+		p.lastLen = len(line)
+	} else {
+		fmt.Fprintln(p.w, line)
+	}
+}
+
+// Finish terminates the status line (newline on a TTY) and stops
+// further rendering.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished {
+		return
+	}
+	p.finished = true
+	if p.tty && p.lastLen > 0 {
+		fmt.Fprintln(p.w)
+	}
+}

@@ -26,12 +26,28 @@ func kindWord(t types.Type) string {
 //   - probe hook emission (a call to a probe* method) in a hot-path
 //     function outside an `if <recv>.probe != nil` guard: the
 //     observability contract is that a detached probe costs one pointer
-//     compare per hook site, which only holds if every site is guarded.
+//     compare per hook site, which only holds if every site is guarded;
+//   - telemetry emission in a hot-path function that is neither one of
+//     the lock-free metric methods (Inc/Add/Set/Observe/Value — always
+//     allocation-free, safe at any rate) nor inside an `if x != nil`
+//     guard: spans and feed events allocate and take locks, so hot
+//     loops may only reach them behind a nil check that is false when
+//     telemetry is detached.
 var HotAlloc = &Analyzer{
-	Name:     "hotalloc",
-	Doc:      "flag sorting, per-cycle allocation, and unguarded probe hooks in the pipeline loop",
-	Packages: []string{"dmp/internal/core", "dmp/internal/obs", "dmp/internal/merge", "dmp/internal/cow", "dmp/internal/sample"},
-	Run:      runHotAlloc,
+	Name: "hotalloc",
+	Doc:  "flag sorting, per-cycle allocation, and unguarded probe/telemetry emission in the pipeline loop",
+	Packages: []string{"dmp/internal/core", "dmp/internal/obs", "dmp/internal/merge", "dmp/internal/cow",
+		"dmp/internal/sample", "dmp/internal/telemetry"},
+	Run: runHotAlloc,
+}
+
+// telemetryHotSafe lists the telemetry calls allowed unguarded in
+// hot-path functions: the atomic metric operations, which are
+// lock-free and allocation-free by construction (pinned by
+// TestMetricsAllocationFree). Everything else — spans, feed events,
+// snapshots — must hide behind a nil guard.
+var telemetryHotSafe = map[string]bool{
+	"Inc": true, "Add": true, "Set": true, "Observe": true, "Value": true,
 }
 
 func runHotAlloc(pass *Pass) {
@@ -80,6 +96,7 @@ func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 	name := fd.Name.Name
 	reported := map[*ast.CompositeLit]bool{}
 	guarded := probeGuardedRanges(fd.Body)
+	nilGuarded := nilGuardedRanges(fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.UnaryExpr:
@@ -120,6 +137,13 @@ func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 					"unguarded %s call in hot-path function %s: wrap the hook in `if <recv>.probe != nil` so the detached probe stays branch-only",
 					sel.Sel.Name, name)
 			}
+			if fn := calleeFunc(pass.Info, x); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "dmp/internal/telemetry" &&
+				!telemetryHotSafe[fn.Name()] && !inRanges(nilGuarded, x.Pos()) {
+				pass.Reportf(x.Pos(),
+					"unguarded telemetry.%s call in hot-path function %s: only the atomic metric ops (Inc/Add/Set/Observe/Value) may run unguarded; wrap emission in an `if x != nil` guard",
+					fn.Name(), name)
+			}
 		}
 		return true
 	})
@@ -150,6 +174,43 @@ func probeGuardedRanges(body *ast.BlockStmt) []span {
 		return true
 	})
 	return spans
+}
+
+// nilGuardedRanges collects the bodies of if statements whose
+// condition (or any conjunct of it) compares anything against nil with
+// != — the ranges inside which guarded telemetry emission is allowed.
+// It is deliberately looser than probeGuardedRanges: any nil check
+// counts, because the emission site names the guarded pointer itself
+// (`if pl.tr != nil { pl.tr.SpanAt(...) }`).
+func nilGuardedRanges(body *ast.BlockStmt) []span {
+	var spans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if ok && condChecksNil(ifs.Cond) {
+			spans = append(spans, span{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// condChecksNil reports whether the expression contains any `x != nil`
+// comparison.
+func condChecksNil(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.NEQ {
+			return true
+		}
+		for _, side := range []ast.Expr{b.X, b.Y} {
+			if id, ok := unparen(side).(*ast.Ident); ok && id.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // condChecksProbe reports whether the expression contains a

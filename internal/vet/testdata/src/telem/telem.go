@@ -1,0 +1,47 @@
+// Package telem is a dmpvet test fixture seeding hotalloc's telemetry
+// rule: in hot-path functions the atomic metric ops pass unguarded,
+// while span/feed emission must sit inside an `if x != nil` guard.
+package telem
+
+import (
+	"time"
+
+	"dmp/internal/telemetry"
+)
+
+var (
+	count = telemetry.NewCounter("telem_fixture_total", "fixture counter")
+	depth = telemetry.NewGauge("telem_fixture_depth", "fixture gauge")
+	lat   = telemetry.NewHistogram("telem_fixture_seconds", "fixture histogram", telemetry.SecondsBuckets())
+)
+
+// hot models a per-cycle consumer loop body with telemetry emission.
+//
+//dmp:hotpath
+func hot(tr *telemetry.Tracer, sp *telemetry.Span, parent uint64, start time.Time, v float64) {
+	count.Inc()     // ok: atomic metric op
+	count.Add(2)    // ok
+	depth.Set(1)    // ok
+	depth.Add(-1)   // ok
+	lat.Observe(v)  // ok
+	_ = lat.Count() // want "unguarded telemetry.Count"
+	sp.End()        // want "unguarded telemetry.End"
+	if tr != nil {
+		tr.SpanAt("job", "fixture", start, time.Second, parent) // ok: nil-guarded
+	}
+	if tr != nil && v > 0 {
+		tr.SpanAt("job", "fixture", start, time.Second, parent) // ok: compound nil guard
+	}
+	tr.SpanAt("job", "fixture", start, time.Second, parent) // want "unguarded telemetry.SpanAt"
+}
+
+// cold runs outside the per-cycle path; unguarded emission is fine.
+func cold(sp *telemetry.Span) {
+	sp.End()
+	telemetry.Emit(telemetry.Event{Kind: "progress"})
+}
+
+var (
+	_ = hot
+	_ = cold
+)

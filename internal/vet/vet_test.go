@@ -89,10 +89,11 @@ func checkFixture(t *testing.T, a *Analyzer, fixture string) {
 	}
 }
 
-func TestFrozenStatsFixture(t *testing.T)    { checkFixture(t, FrozenStats, "frozen") }
-func TestNondeterminismFixture(t *testing.T) { checkFixture(t, Nondeterminism, "nondet") }
-func TestHotAllocFixture(t *testing.T)       { checkFixture(t, HotAlloc, "hotpath") }
-func TestCanonicalFixture(t *testing.T)      { checkFixture(t, Canonical, "canon") }
+func TestFrozenStatsFixture(t *testing.T)       { checkFixture(t, FrozenStats, "frozen") }
+func TestNondeterminismFixture(t *testing.T)    { checkFixture(t, Nondeterminism, "nondet") }
+func TestHotAllocFixture(t *testing.T)          { checkFixture(t, HotAlloc, "hotpath") }
+func TestHotAllocTelemetryFixture(t *testing.T) { checkFixture(t, HotAlloc, "telem") }
+func TestCanonicalFixture(t *testing.T)         { checkFixture(t, Canonical, "canon") }
 
 func TestParseAllow(t *testing.T) {
 	for _, tc := range []struct {
@@ -141,6 +142,9 @@ func TestAnalyzerApplies(t *testing.T) {
 	}
 	if !HotAlloc.applies("dmp/internal/sample") {
 		t.Error("hotalloc must run on the sampling driver's consumer loop")
+	}
+	if !HotAlloc.applies("dmp/internal/telemetry") {
+		t.Error("hotalloc must run on telemetry (its metric hot paths promise zero allocation)")
 	}
 	if !Canonical.applies("dmp/internal/core") {
 		t.Error("canonical must run on core (Config.Canonical lives there)")
