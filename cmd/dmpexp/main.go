@@ -29,6 +29,13 @@
 // completion order; per-experiment timing and the cache hit/miss summary
 // go to stderr so stdout stays byte-stable for golden diffs.
 //
+// -remote URL sends the request to a dmpserve daemon instead of
+// simulating locally: tables stream back byte-identical to a local run
+// (golden diffs hold either way), and the stderr summary reports the
+// daemon's result-cache delta — including store hits, simulations the
+// daemon's persistent store answered from disk. Local-only flags
+// (-lint, -sample-*, -telemetry*) are rejected with -remote.
+//
 // -telemetry attaches the host-side telemetry layer (internal/telemetry):
 // a live single-line progress renderer on stderr (cache hits/misses,
 // experiments completed) replaces the per-experiment timing lines, and
@@ -74,6 +81,7 @@ func main() {
 		nocheck = flag.Bool("nocheck", false, "disable the golden-model checker (faster)")
 		par     = flag.Int("parallel", 0, "simulation worker cap, shared by all experiments (default NumCPU)")
 		doLint  = flag.Bool("lint", false, "lint every benchmark program and annotation set before running")
+		remote  = flag.String("remote", "", "run on a dmpserve daemon at this base URL instead of locally")
 
 		sampleJSON = flag.String("sample-json", "", "write the sampling experiment's report (JSON) to this file")
 		sampleGate = flag.Float64("sample-gate", 0, "fail unless every sampled benchmark has |IPC err%| <= this and CI coverage (0 = off)")
@@ -130,6 +138,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dmpexp: unknown experiment %q (known: %s)\n", id, strings.Join(exp.IDs(), " "))
 			exit(2)
 		}
+	}
+	if *remote != "" {
+		// Everything below runs simulations (or inspects local telemetry)
+		// on this host; the remote path delegates all of it to the daemon.
+		if *doLint || *sampleJSON != "" || *sampleGate != 0 || *samplePer != 0 || *sampleIvl != 0 ||
+			*sampleWarm != 0 || *sampleWM != "" || *telemetryOn || *telemetryOut != "" {
+			fmt.Fprintln(os.Stderr, "dmpexp: -lint, -sample-* and -telemetry* are local-only; drop them with -remote")
+			exit(2)
+		}
+		exit(runRemote(*remote, ids, opts))
 	}
 	wantSampling := false
 	for _, id := range ids {

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// fillValue writes a distinct non-zero value into v, recursing into
+// arrays. The distinct values make field-order mixups visible: a swap
+// of two uint64 fields during the round trip changes the comparison.
+func fillValue(t *testing.T, v reflect.Value, seed uint64) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Uint64, reflect.Uint32, reflect.Uint16, reflect.Uint8, reflect.Uint:
+		v.SetUint(seed)
+	case reflect.Int64, reflect.Int32, reflect.Int16, reflect.Int8, reflect.Int:
+		v.SetInt(int64(seed))
+	case reflect.Float64, reflect.Float32:
+		v.SetFloat(float64(seed) + 0.5)
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.String:
+		v.SetString("s" + string(rune('0'+seed%10)))
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillValue(t, v.Index(i), seed*100+uint64(i)+1)
+		}
+	default:
+		t.Fatalf("Stats grew a %v field; extend fillValue so the JSON round-trip test still covers every field", v.Kind())
+	}
+}
+
+// TestStatsJSONRoundTrip is reflection-complete: every present and
+// future field of Stats must survive JSON encode/decode unchanged. The
+// persistent result store (internal/store) serializes Stats this way,
+// so a field that cannot round-trip — unexported, shadowed by a
+// duplicate tag, or of an unsupported kind — would silently corrupt
+// stored results; this test turns that into a build-time failure.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	var st Stats
+	v := reflect.ValueOf(&st).Elem()
+	tp := v.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		if f.PkgPath != "" {
+			t.Fatalf("Stats field %s is unexported and would be dropped by the result store's JSON encoding", f.Name)
+		}
+		fillValue(t, v.Field(i), uint64(i)+1)
+	}
+
+	data, err := json.Marshal(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("strict decode (the store's read path): %v", err)
+	}
+	if back != st {
+		bv := reflect.ValueOf(back)
+		for i := 0; i < tp.NumField(); i++ {
+			if !reflect.DeepEqual(v.Field(i).Interface(), bv.Field(i).Interface()) {
+				t.Errorf("field %s: sent %v, got back %v", tp.Field(i).Name, v.Field(i), bv.Field(i))
+			}
+		}
+		t.Fatal("Stats did not survive the JSON round trip")
+	}
+}

@@ -198,16 +198,7 @@ func SamplingReport(o Options) (*Table, *SampleReport, error) {
 		wg.Add(1)
 		go func(i int, bench string, sCfg core.Config) {
 			defer wg.Done()
-			p, err := annotatedCached(bench, o.Scale, false)
-			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", bench, err)
-				return
-			}
-			// Hold one worker slot for the run; interval jobs try-acquire
-			// further slots from the same pool and fall back inline.
-			slots <- struct{}{}
-			defer func() { <-slots }()
-			results[i], errs[i] = sample.Run(p, sCfg, sample.Options{Slots: slots, Span: o.Span})
+			results[i], errs[i] = sampleCached(bench, sCfg, o, slots)
 			if errs[i] != nil {
 				errs[i] = fmt.Errorf("%s: %w", bench, errs[i])
 			}

@@ -2,92 +2,66 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"dmp/internal/core"
 	"dmp/internal/sample"
+	"dmp/internal/sched"
 	"dmp/internal/telemetry"
 )
 
-// Simulation results are memoized process-wide, one entry per unique
-// (benchmark, scale, checker, annotation-variant, canonical config)
-// tuple. `dmpexp all` asks for the same simulation many times over — the
-// baseline suite alone is needed by table3, fig1, fig7, fig9, fig11,
-// fig12, dualpath and loopdiverge — and the simulator is deterministic,
-// so every repeat after the first is a map lookup. The singleflight
-// sync.Once per entry means concurrent experiments requesting the same
-// key block on one simulation instead of racing duplicates.
+// Simulation results are memoized process-wide by internal/sched's
+// singleflight result cache, one entry per unique (benchmark, scale,
+// checker, annotation-variant, canonical config) tuple. `dmpexp all`
+// asks for the same simulation many times over — the baseline suite
+// alone is needed by table3, fig1, fig7, fig9, fig11, fig12, dualpath
+// and loopdiverge — and the simulator is deterministic, so every repeat
+// after the first is a map lookup. This file is now only the glue
+// between experiments and the scheduler: it builds the sched.Key,
+// supplies the computation (simulate), and re-exports the counters the
+// CLI prints. The cache machinery itself — singleflight entries, the
+// frozen-Stats snapshot guard, the worker pool, the optional persistent
+// backing store the dmpserve daemon installs — lives in internal/sched
+// (and internal/store for the on-disk half).
 //
 // Cached *core.Stats are FROZEN: every caller shares one pointer, so a
 // mutation by any of them would silently corrupt every other experiment's
 // table. Callers that need to write (accumulate, rescale) must work on a
-// core.Stats.Clone(). The cache keeps a private snapshot of each result
+// core.Stats.Clone(). sched.Cache keeps a private snapshot of each result
 // and compares on every hit; a mutated entry is a programming error and
 // panics with the offending key rather than returning poisoned numbers.
 //
-// Worker scheduling is process-global, not per-suite: the first scheme
-// (one semaphore per runSuite call) oversubscribed the host as soon as
-// experiments ran concurrently — every suite thought it owned
-// Options.Parallel workers. Now Options.Parallel is a process-level cap:
-// the first acquire sizes one shared slot pool (default NumCPU) and every
-// simulation, from any experiment, takes a slot only while it actually
-// runs. Cache waiters block on the entry's Once without holding a slot,
-// so duplicate requests never occupy a worker.
+// Worker scheduling is process-global, not per-suite: Options.Parallel
+// is a process-level cap — the first acquire sizes one shared slot pool
+// (default NumCPU) and every simulation, from any experiment, takes a
+// slot only while it actually runs. Cache waiters block on the entry's
+// singleflight without holding a slot, so duplicate requests never
+// occupy a worker.
 
-// simKey identifies one unique simulation.
-type simKey struct {
-	bench string
-	scale int
-	check bool // golden-model retirement checker on
-	loops bool // loop-marked annotation variant (Section 2.7.4)
-	cfg   core.Config
-}
+// simCache is the process-wide result cache. The dmpserve daemon
+// installs a persistent backing store on it (ResultCache().SetBacking);
+// the CLI path runs it memory-only.
+var simCache = sched.NewCache()
 
-// simEntry is a once-run cache slot.
-type simEntry struct {
-	once   sync.Once
-	st     *core.Stats
-	frozen core.Stats // snapshot taken at publication; guards the read-only invariant
-	err    error
-}
+// ResultCache exposes the process-wide result cache so embedders (the
+// dmpserve daemon, benchmarks) can install a backing store and read the
+// scheduler's counters.
+func ResultCache() *sched.Cache { return simCache }
 
-var (
-	simCache  sync.Map // simKey -> *simEntry
-	simHits   atomic.Uint64
-	simMisses atomic.Uint64
-)
-
-// SimCounts returns the result-cache hit and miss totals since process
-// start (or the last Reset). Misses count actual simulations.
+// SimCounts returns the result-cache reuse and simulation totals since
+// process start (or the last Reset): hits are requests served without
+// running a simulation (in-memory entries plus backing-store loads),
+// misses count simulations actually executed.
 func SimCounts() (hits, misses uint64) {
-	return simHits.Load(), simMisses.Load()
+	c := simCache.Counts()
+	return c.Hits + c.StoreHits, c.Computed
 }
 
-// --- global worker pool ---
-
-var (
-	poolMu sync.Mutex
-	poolCh chan struct{}
-)
-
-// workerSlots returns the process-wide simulation slot pool, creating it
-// on first use with capacity n (<=0 means NumCPU). The first caller fixes
-// the capacity for the life of the process: Parallel is a global cap, not
-// a per-suite one, precisely so that concurrently generated experiments
-// cannot oversubscribe the host.
+// workerSlots returns the process-wide simulation slot pool as a raw
+// semaphore channel, creating it on first use with capacity n (<=0
+// means NumCPU). See sched.Shared for the first-caller-sizes contract.
 func workerSlots(n int) chan struct{} {
-	poolMu.Lock()
-	defer poolMu.Unlock()
-	if poolCh == nil {
-		if n <= 0 {
-			n = runtime.NumCPU()
-		}
-		poolCh = make(chan struct{}, n)
-	}
-	return poolCh
+	return sched.Shared(n).Chan()
 }
 
 // runOneCached returns the memoized simulation of bench under cfg,
@@ -95,61 +69,25 @@ func workerSlots(n int) chan struct{} {
 // Clone before mutating. loops selects the loop-marked annotated program
 // (LoopDiverge); everything else passes false.
 func runOneCached(bench string, cfg core.Config, o Options, loops bool) (*core.Stats, error) {
-	key := simKey{bench: bench, scale: o.Scale, check: o.Check, loops: loops, cfg: cfg.Canonical()}
-	v, _ := simCache.LoadOrStore(key, &simEntry{})
-	e := v.(*simEntry)
-	hit := true
-	t0 := time.Now() //dmp:allow nondeterminism -- host telemetry only; never reaches Stats or tables
-	e.once.Do(func() {
-		hit = false
-		simMisses.Add(1)
-		mSimMisses.Inc()
-		tel := telemetry.Active()
-		var label string
-		var sp *telemetry.Span
-		if tel != nil {
-			label = simLabel(bench, cfg, loops)
-			tel.Feed().Emit(telemetry.Event{Kind: "simulation", Name: label, Msg: "miss"})
-			// The simulation gets its own trace lane: pooled simulations
-			// from one experiment overlap each other and their parent.
-			sp = o.Span.ChildAsync(label, "exp")
-		}
-		slots := workerSlots(o.Parallel)
-		mPoolQueued.Add(1)
-		slots <- struct{}{}
-		mPoolQueued.Add(-1)
-		mSlotWait.Observe(time.Since(t0).Seconds()) //dmp:allow nondeterminism -- host telemetry only
-		mPoolBusy.Add(1)
-		defer func() { mPoolBusy.Add(-1); <-slots }()
-		so := o
-		so.Span = sp // sampled runs hang their stage spans under the simulation
-		e.st, e.err = simulate(bench, cfg, so, loops)
-		if e.err == nil {
-			e.frozen = *e.st
-		}
-		sp.End()
-		elapsed := time.Since(t0).Seconds() //dmp:allow nondeterminism -- host telemetry only
-		mSimSeconds.Observe(elapsed)
-		if tel != nil {
-			tel.Feed().Emit(telemetry.Event{Kind: "simulation", Name: label, Msg: "done", V: elapsed})
-		}
+	key := sched.Key{Bench: bench, Scale: o.Scale, Check: o.Check, Loops: loops, Cfg: cfg.Canonical()}
+	return simCache.Do(key, sched.Job{
+		Pool: sched.Shared(o.Parallel),
+		Span: o.Span,
+		Run: func(sp *telemetry.Span) (*core.Stats, error) {
+			so := o
+			so.Span = sp // sampled runs hang their stage spans under the simulation
+			return simulate(bench, cfg, so, loops)
+		},
 	})
-	if hit {
-		simHits.Add(1)
-		mSimHits.Inc()
-		// Covers both flavors of hit: an instant lookup of a completed
-		// entry (~0) and blocking on another request's in-flight
-		// simulation (the singleflight case the histogram exists for).
-		mSingleflightWait.Observe(time.Since(t0).Seconds()) //dmp:allow nondeterminism -- host telemetry only
-		if tel := telemetry.Active(); tel != nil {
-			tel.Feed().Emit(telemetry.Event{Kind: "simulation", Name: simLabel(bench, cfg, loops), Msg: "hit"})
-		}
-		if e.err == nil && *e.st != e.frozen {
-			panic(fmt.Sprintf("exp: cached Stats for %s/%v (scale %d) were mutated; cached results are frozen — use Stats.Clone",
-				bench, cfg.Mode, o.Scale))
-		}
-	}
-	return e.st, e.err
+}
+
+// RunOne is the exported single-simulation entry point for embedders
+// (the dmpserve daemon's POST /v1/runs): one benchmark, one machine
+// configuration, memoized through the process-wide cache exactly like
+// an experiment's request. The returned Stats are shared and frozen —
+// Clone before mutating.
+func RunOne(bench string, cfg core.Config, o Options, loops bool) (*core.Stats, error) {
+	return runOneCached(bench, cfg, o.norm(), loops)
 }
 
 // simulate is the uncached simulation behind runOneCached: one benchmark,
@@ -187,9 +125,48 @@ func simulate(bench string, cfg core.Config, o Options, loops bool) (*core.Stats
 	return st.Clone(), nil
 }
 
+// --- sampled-run memo ---
+
+// sampleCache memoizes full sample.Result values per (bench, scale,
+// check, canonical sampled config), so the daemon's overlapping clients
+// coalesce to one sampled run each, the way runOneCached coalesces
+// exact runs. It is process-local and never persisted: a Result carries
+// host wall-clock (Timing, WallSeconds) alongside its deterministic
+// fields, so only live requests may share one. Shared Results are
+// read-only by the same frozen contract as cached Stats.
+var sampleCache sync.Map // sched.Key -> *sampleEntry
+
+type sampleEntry struct {
+	once sync.Once
+	res  *sample.Result
+	err  error
+}
+
+// sampleCached runs (or reuses) the sampled simulation of bench under
+// sCfg, holding one slot from slots for the duration of an actual run;
+// interval jobs try-acquire further slots from the same pool and fall
+// back inline.
+func sampleCached(bench string, sCfg core.Config, o Options, slots chan struct{}) (*sample.Result, error) {
+	key := sched.Key{Bench: bench, Scale: o.Scale, Check: o.Check, Cfg: sCfg.Canonical()}
+	v, _ := sampleCache.LoadOrStore(key, &sampleEntry{})
+	e := v.(*sampleEntry)
+	e.once.Do(func() {
+		p, err := annotatedCached(bench, o.Scale, false)
+		if err != nil {
+			e.err = err
+			return
+		}
+		slots <- struct{}{}
+		defer func() { <-slots }()
+		e.res, e.err = sample.Run(p, sCfg, sample.Options{Slots: slots, Span: o.Span})
+	})
+	return e.res, e.err
+}
+
 // Reset drops every cached program and simulation result and zeroes the
 // cache counters. For benchmarks and long-lived embedders that need a
-// cold start; experiment correctness never requires it.
+// cold start; experiment correctness never requires it. A backing store
+// installed on the result cache stays installed and keeps its contents.
 func Reset() {
 	resetProgramCache()
 	resetSimCache()
@@ -203,12 +180,12 @@ func ResetResults() {
 	resetSimCache()
 }
 
-// resetSimCache drops cached simulation results and counters.
+// resetSimCache drops cached simulation and sampled results and zeroes
+// the counters.
 func resetSimCache() {
-	simCache.Range(func(k, _ any) bool {
-		simCache.Delete(k)
+	simCache.Reset()
+	sampleCache.Range(func(k, _ any) bool {
+		sampleCache.Delete(k)
 		return true
 	})
-	simHits.Store(0)
-	simMisses.Store(0)
 }

@@ -1,0 +1,71 @@
+package prog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Hash returns a content digest over everything that can affect
+// execution: the instruction image, entry point, stack base, initial
+// data memory, and the diverge annotations (CFM points, class, exit
+// threshold, loop marking). Labels are presentation-only and excluded.
+// Maps are folded in sorted-key order, so the digest is deterministic
+// across processes — it is the workload-identity half of the result
+// store's key (internal/store Meta.WorkloadHash), pinning cached
+// results to the exact program bytes they were measured on.
+func (p *Program) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	b := func(v bool) {
+		if v {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+
+	u64(uint64(len(p.Code)))
+	for _, in := range p.Code {
+		u64(uint64(in.Op))
+		u64(uint64(in.Cond))
+		u64(uint64(in.Dst))
+		u64(uint64(in.Src1))
+		u64(uint64(in.Src2))
+		u64(uint64(in.Imm))
+		u64(in.Target)
+	}
+	u64(p.Entry)
+	u64(p.StackBase)
+
+	u64(uint64(len(p.Data)))
+	addrs := make([]uint64, 0, len(p.Data))
+	for a := range p.Data {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		u64(a)
+		u64(p.Data[a])
+	}
+
+	pcs := p.DivergePCs()
+	u64(uint64(len(pcs)))
+	for _, pc := range pcs {
+		d := p.Diverge[pc]
+		u64(pc)
+		u64(uint64(len(d.CFMs)))
+		for _, cfm := range d.CFMs {
+			u64(cfm)
+		}
+		u64(uint64(d.Class))
+		u64(uint64(int64(d.ExitThreshold)))
+		b(d.Loop)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

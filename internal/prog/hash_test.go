@@ -1,0 +1,50 @@
+package prog
+
+import (
+	"testing"
+
+	"dmp/internal/isa"
+)
+
+func hashProg() *Program {
+	p := New()
+	p.Code = []isa.Inst{
+		{Op: isa.LI, Dst: 1, Imm: 7},
+		{Op: isa.BR, Cond: isa.EQ, Src1: 1, Src2: 1, Target: 3},
+		{Op: isa.ADDI, Dst: 1, Src1: 1, Imm: 1},
+		{Op: isa.HALT},
+	}
+	p.SetWord(64, 11)
+	p.MarkDiverge(1, &Diverge{CFMs: []uint64{3}, Class: ClassSimpleHammock, ExitThreshold: 8})
+	return p
+}
+
+func TestHashDeterministicAndSensitive(t *testing.T) {
+	base := hashProg().Hash()
+	if base != hashProg().Hash() {
+		t.Fatal("hash is not deterministic")
+	}
+	// Labels are presentation-only: they must not move the hash.
+	withLabel := hashProg()
+	withLabel.Labels["loop"] = 2
+	if withLabel.Hash() != base {
+		t.Fatal("label changed the hash")
+	}
+	for name, mut := range map[string]func(*Program){
+		"code":      func(p *Program) { p.Code[2].Imm = 2 },
+		"entry":     func(p *Program) { p.Entry = 2 },
+		"stack":     func(p *Program) { p.StackBase = 1 << 21 },
+		"data":      func(p *Program) { p.SetWord(64, 12) },
+		"data-addr": func(p *Program) { p.SetWord(128, 11) },
+		"cfm":       func(p *Program) { p.Diverge[1].CFMs = []uint64{2} },
+		"class":     func(p *Program) { p.Diverge[1].Class = ClassComplexDiverge },
+		"threshold": func(p *Program) { p.Diverge[1].ExitThreshold = 16 },
+		"loop":      func(p *Program) { p.Diverge[1].Loop = true },
+	} {
+		p := hashProg()
+		mut(p)
+		if p.Hash() == base {
+			t.Errorf("mutation %q did not change the hash", name)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dmp/internal/core"
+	"dmp/internal/telemetry"
+)
+
+func testKey(bench string) Key {
+	return Key{Bench: bench, Scale: 1, Check: true, Cfg: core.DefaultConfig().Canonical()}
+}
+
+// fakeBacking is an in-memory Backing with call accounting.
+type fakeBacking struct {
+	mu     sync.Mutex
+	m      map[Key]core.Stats
+	loads  atomic.Uint64
+	stores atomic.Uint64
+}
+
+func newFakeBacking() *fakeBacking { return &fakeBacking{m: map[Key]core.Stats{}} }
+
+func (f *fakeBacking) Load(k Key) (*core.Stats, bool) {
+	f.loads.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.m[k]
+	if !ok {
+		return nil, false
+	}
+	cp := st
+	return &cp, true
+}
+
+func (f *fakeBacking) Store(k Key, st *core.Stats) {
+	f.stores.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.m[k] = *st
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	pool := NewPool(4)
+	var runs atomic.Uint64
+	const callers = 16
+	var wg sync.WaitGroup
+	stats := make([]*core.Stats, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.Do(testKey("mcf"), Job{Pool: pool, Run: func(*telemetry.Span) (*core.Stats, error) {
+				runs.Add(1)
+				return &core.Stats{RetiredInsts: 42, Cycles: 7}, nil
+			}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			stats[i] = st
+		}(i)
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("computation ran %d times, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if stats[i] != stats[0] {
+			t.Fatalf("caller %d got a different pointer: results must be shared", i)
+		}
+	}
+	cn := c.Counts()
+	if cn.Computed != 1 || cn.Misses != 1 || cn.Hits != callers-1 {
+		t.Fatalf("counts = %+v, want 1 computed, 1 miss, %d hits", cn, callers-1)
+	}
+}
+
+func TestCacheErrorSharedNotStored(t *testing.T) {
+	c := NewCache()
+	b := newFakeBacking()
+	c.SetBacking(b)
+	boom := errors.New("boom")
+	job := Job{Pool: NewPool(1), Run: func(*telemetry.Span) (*core.Stats, error) { return nil, boom }}
+	if _, err := c.Do(testKey("gcc"), job); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := c.Do(testKey("gcc"), job); !errors.Is(err, boom) {
+		t.Fatalf("second err = %v, want cached boom", err)
+	}
+	if got := b.stores.Load(); got != 0 {
+		t.Fatalf("failed computation was written to the backing store (%d stores)", got)
+	}
+}
+
+func TestCacheBackingStoreHit(t *testing.T) {
+	b := newFakeBacking()
+	pool := NewPool(2)
+	want := &core.Stats{RetiredInsts: 99, Cycles: 3}
+
+	c1 := NewCache()
+	c1.SetBacking(b)
+	var runs atomic.Uint64
+	run := func(*telemetry.Span) (*core.Stats, error) { runs.Add(1); return want.Clone(), nil }
+	if _, err := c1.Do(testKey("mcf"), Job{Pool: pool, Run: run}); err != nil {
+		t.Fatal(err)
+	}
+	if b.stores.Load() != 1 {
+		t.Fatalf("stores = %d, want write-through of the computed result", b.stores.Load())
+	}
+
+	// A fresh cache over the same backing (a restarted process) serves
+	// the key from the store without recomputing.
+	c2 := NewCache()
+	c2.SetBacking(b)
+	st, err := c2.Do(testKey("mcf"), Job{Pool: pool, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *st != *want {
+		t.Fatalf("store-served stats = %+v, want %+v", st, want)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("computation ran %d times across both caches, want 1", runs.Load())
+	}
+	cn := c2.Counts()
+	if cn.StoreHits != 1 || cn.Computed != 0 {
+		t.Fatalf("fresh-cache counts = %+v, want 1 store hit, 0 computed", cn)
+	}
+}
+
+func TestCacheFrozenGuard(t *testing.T) {
+	c := NewCache()
+	job := Job{Pool: NewPool(1), Run: func(*telemetry.Span) (*core.Stats, error) {
+		return &core.Stats{RetiredInsts: 5}, nil
+	}}
+	st, err := c.Do(testKey("vpr"), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.RetiredInsts++ // the forbidden mutation
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mutated cached Stats did not panic on the next hit")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "frozen") || !strings.Contains(msg, "vpr") {
+			t.Fatalf("panic %v should name the frozen contract and the offending key", r)
+		}
+	}()
+	c.Do(testKey("vpr"), job)
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache()
+	var runs atomic.Uint64
+	job := Job{Pool: NewPool(1), Run: func(*telemetry.Span) (*core.Stats, error) {
+		runs.Add(1)
+		return &core.Stats{}, nil
+	}}
+	c.Do(testKey("gap"), job)
+	c.Reset()
+	if cn := c.Counts(); cn != (Counts{}) {
+		t.Fatalf("counts after Reset = %+v, want zero", cn)
+	}
+	c.Do(testKey("gap"), job)
+	if runs.Load() != 2 {
+		t.Fatalf("runs = %d, want recompute after Reset", runs.Load())
+	}
+}
+
+func TestPoolBounds(t *testing.T) {
+	p := NewPool(2)
+	p.Acquire()
+	p.Acquire()
+	if p.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on a full pool")
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("TryAcquire failed with a free slot")
+	}
+	p.Release()
+	p.Release()
+	if p.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", p.Cap())
+	}
+}
+
+func TestAdmitterRoundRobinFairness(t *testing.T) {
+	a := NewAdmitter(AdmitOptions{MaxConcurrent: 1, MaxQueuedPerClient: 16, MaxQueuedTotal: 64})
+	defer a.Stop()
+
+	// Hold the single slot with a gate job so the queues build up
+	// deterministically, then release and observe dispatch order.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := a.Submit("warm", func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	// Client A floods 6 requests before B submits 2: round-robin must
+	// interleave B's work instead of running it last.
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		if err := a.Submit("a", func() { record("a")(); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		if err := a.Submit("b", func() { record("b")(); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go func() { wg.Wait(); close(done) }()
+	close(gate)
+	<-done
+
+	got := strings.Join(order, "")
+	// Strict alternation while both queues are non-empty: a b a b, then
+	// the rest of a's backlog.
+	if want := "ababaaaa"; got != want {
+		t.Fatalf("dispatch order %q, want round-robin %q", got, want)
+	}
+}
+
+func TestAdmitterShedsOnOverload(t *testing.T) {
+	a := NewAdmitter(AdmitOptions{MaxConcurrent: 1, MaxQueuedPerClient: 2, MaxQueuedTotal: 3})
+	defer a.Stop()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := a.Submit("x", func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// x may queue two more; the third is shed by the per-client bound.
+	for i := 0; i < 2; i++ {
+		if err := a.Submit("x", func() {}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := a.Submit("x", func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("per-client overflow: err = %v, want ErrOverloaded", err)
+	}
+	// One more from y fills MaxQueuedTotal; a second y is shed by the
+	// total bound even though y's own queue has room.
+	if err := a.Submit("y", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Submit("y", func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("total overflow: err = %v, want ErrOverloaded", err)
+	}
+	if ra := a.RetryAfter(); ra <= 0 {
+		t.Fatalf("RetryAfter = %v, want positive", ra)
+	}
+	close(gate)
+}
+
+func TestAdmitterStopRefusesAndDrains(t *testing.T) {
+	a := NewAdmitter(AdmitOptions{MaxConcurrent: 2})
+	var ran atomic.Uint64
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := a.Submit(fmt.Sprintf("c%d", i%3), func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Stop()
+	if got := ran.Load(); got != n {
+		t.Fatalf("Stop drained %d of %d admitted jobs", got, n)
+	}
+	if err := a.Submit("late", func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit after Stop: err = %v, want ErrOverloaded", err)
+	}
+	a.Stop() // idempotent
+}

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"dmp/internal/exp"
+	"dmp/internal/sched"
+	"dmp/internal/store"
+	"dmp/internal/telemetry"
+)
+
+// testIDs / testBenches keep the HTTP tests fast: a small experiment
+// subset over two short benchmarks at scale 1.
+var (
+	testIDs     = []string{"table3", "fig1", "fig7"}
+	testBenches = []string{"mcf", "twolf"}
+)
+
+func postJSON(t *testing.T, url, client string, body any) (*http.Response, RunStatus) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-DMP-Client", client)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st RunStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp, st
+}
+
+func experimentsBody(ids, benches []string) map[string]any {
+	return map[string]any{"ids": ids, "benchmarks": benches, "scale": 1}
+}
+
+func tableTexts(t *testing.T, st RunStatus) []string {
+	t.Helper()
+	if st.State != "done" {
+		t.Fatalf("run state %q (error %q), want done", st.State, st.Error)
+	}
+	var texts []string
+	for _, tb := range st.Tables {
+		if tb.Error != "" {
+			t.Fatalf("table %s failed: %s", tb.ID, tb.Error)
+		}
+		texts = append(texts, tb.Text)
+	}
+	return texts
+}
+
+// TestWarmStoreServesWithoutSimulating is the acceptance path: a first
+// daemon fills the store, a second daemon process (fresh in-memory
+// cache, same directory) serves the identical request byte-for-byte
+// with zero simulations, and the remote tables match a local run.
+func TestWarmStoreServesWithoutSimulating(t *testing.T) {
+	dir := t.TempDir()
+	defer exp.ResultCache().SetBacking(nil)
+
+	exp.ResetResults()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(Config{Store: st1, Admit: sched.AdmitOptions{MaxConcurrent: 4}})
+	ts1 := httptest.NewServer(srv1)
+	resp, run1 := postJSON(t, ts1.URL+"/v1/experiments?wait=1", "warm-a", experimentsBody(testIDs, testBenches))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	cold := tableTexts(t, run1)
+	if run1.Counts == nil || run1.Counts.Simulated == 0 {
+		t.Fatalf("cold run reported no simulations: %+v", run1.Counts)
+	}
+	ts1.Close()
+	srv1.Close()
+	if st1.Len() == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+
+	// "Second process": drop the in-memory cache, reopen the store.
+	exp.ResetResults()
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Config{Store: st2, Admit: sched.AdmitOptions{MaxConcurrent: 4}})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	defer srv2.Close()
+	_, run2 := postJSON(t, ts2.URL+"/v1/experiments?wait=1", "warm-b", experimentsBody(testIDs, testBenches))
+	warm := tableTexts(t, run2)
+	if run2.Counts.Simulated != 0 {
+		t.Fatalf("warm-store run simulated %d times, want 0 (counts %+v)", run2.Counts.Simulated, run2.Counts)
+	}
+	if run2.Counts.StoreHits == 0 {
+		t.Fatal("warm-store run reported no store hits")
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("table %s differs between cold and warm-store runs:\n--- cold ---\n%s--- warm ---\n%s",
+				testIDs[i], cold[i], warm[i])
+		}
+	}
+
+	// The remote tables are byte-identical to a plain local run.
+	exp.ResultCache().SetBacking(nil)
+	exp.ResetResults()
+	o := exp.DefaultOptions()
+	o.Scale = 1
+	o.Benchmarks = testBenches
+	for i, id := range testIDs {
+		tb, err := exp.All[id](o)
+		if err != nil {
+			t.Fatalf("local %s: %v", id, err)
+		}
+		if tb.String() != cold[i] {
+			t.Fatalf("remote table %s differs from local:\n--- local ---\n%s--- remote ---\n%s",
+				id, tb.String(), cold[i])
+		}
+	}
+}
+
+// TestConcurrentClientsCoalesce asserts the dedup guarantee: many
+// clients requesting the same experiment concurrently trigger exactly
+// the simulations one client would, the rest resolving as cache hits.
+func TestConcurrentClientsCoalesce(t *testing.T) {
+	// Baseline: how many unique simulations does one run need?
+	exp.ResetResults()
+	o := exp.DefaultOptions()
+	o.Scale = 1
+	o.Benchmarks = testBenches
+	if _, err := exp.All["table3"](o); err != nil {
+		t.Fatal(err)
+	}
+	unique := exp.ResultCache().Counts().Computed
+	if unique == 0 {
+		t.Fatal("table3 ran no simulations")
+	}
+
+	exp.ResetResults()
+	srv := New(Config{Admit: sched.AdmitOptions{MaxConcurrent: 8, MaxQueuedPerClient: 2, MaxQueuedTotal: 32}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, st := postJSON(t, ts.URL+"/v1/experiments?wait=1", fmt.Sprintf("client-%d", i),
+				experimentsBody([]string{"table3"}, testBenches))
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("client %d: status %d", i, resp.StatusCode)
+				return
+			}
+			if st.State != "done" {
+				errs[i] = fmt.Errorf("client %d: state %q error %q", i, st.State, st.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := exp.ResultCache().Counts()
+	if c.Computed != unique {
+		t.Fatalf("%d clients computed %d simulations, want %d (coalescing failed; counts %+v)",
+			clients, c.Computed, unique, c)
+	}
+	if c.Hits+c.Computed < clients*unique {
+		t.Fatalf("hits %d + computed %d < %d requests' worth of lookups", c.Hits, c.Computed, clients*unique)
+	}
+}
+
+// TestRunEndpoint covers the single-run path and its error statuses.
+func TestRunEndpoint(t *testing.T) {
+	exp.ResetResults()
+	srv := New(Config{Admit: sched.AdmitOptions{MaxConcurrent: 2}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	resp, st := postJSON(t, ts.URL+"/v1/runs?wait=1", "run-a",
+		map[string]any{"bench": "mcf", "mode": "enhanced", "scale": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if st.State != "done" || st.Stats == nil || st.Stats.RetiredInsts == 0 {
+		t.Fatalf("unexpected run result: state %q stats %+v", st.State, st.Stats)
+	}
+
+	// A repeat is a cache hit, not a new simulation.
+	resp2, st2 := postJSON(t, ts.URL+"/v1/runs?wait=1", "run-a",
+		map[string]any{"bench": "mcf", "mode": "enhanced", "scale": 1})
+	if resp2.StatusCode != http.StatusOK || st2.Counts.Simulated != 0 {
+		t.Fatalf("repeat run: status %d counts %+v, want 200 and 0 simulated", resp2.StatusCode, st2.Counts)
+	}
+	if *st.Stats != *st2.Stats {
+		t.Fatal("repeat run returned different stats")
+	}
+
+	for name, body := range map[string]map[string]any{
+		"unknown bench": {"bench": "nope"},
+		"unknown mode":  {"bench": "mcf", "mode": "warp"},
+		"missing bench": {"mode": "dmp"},
+		"unknown field": {"bench": "mcf", "turbo": true},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/runs?wait=1", "run-a", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	resp3, err := http.Get(ts.URL + "/v1/runs/r999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", resp3.StatusCode)
+	}
+}
+
+// TestClosedServerSheds pins the deterministic 429 path: a stopped
+// admitter refuses every submission with Retry-After set.
+func TestClosedServerSheds(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	srv.Close()
+
+	resp, _ := postJSON(t, ts.URL+"/v1/runs?wait=1", "shed-a", map[string]any{"bench": "mcf"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestSSEEvents streams a run's event feed: initial status, at least
+// one telemetry event, and the final done event with the completed
+// status.
+func TestSSEEvents(t *testing.T) {
+	exp.ResetResults()
+	tel := telemetry.New(telemetry.Options{})
+	telemetry.Enable(tel)
+	defer telemetry.Enable(nil)
+
+	srv := New(Config{Admit: sched.AdmitOptions{MaxConcurrent: 2}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	resp, st := postJSON(t, ts.URL+"/v1/runs", "sse-a", map[string]any{"bench": "twolf", "scale": 1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+
+	stream, err := http.Get(ts.URL + "/v1/runs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	events := map[string]int{}
+	var final RunStatus
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	current := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if ev, ok := strings.CutPrefix(line, "event: "); ok {
+			current = ev
+			events[ev]++
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok && current == "done" {
+			if err := json.Unmarshal([]byte(data), &final); err != nil {
+				t.Fatalf("done payload: %v", err)
+			}
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events["status"] != 1 || events["done"] != 1 {
+		t.Fatalf("events %v, want one status and one done", events)
+	}
+	if final.State != "done" || final.Stats == nil {
+		t.Fatalf("final status %+v, want a completed run with stats", final)
+	}
+}

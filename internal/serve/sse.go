@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dmp/internal/telemetry"
+)
+
+// hub fans the process telemetry feed out to SSE subscribers. The feed
+// delivers events synchronously under its own lock, so publish must
+// never block: each subscriber gets a buffered channel and a slow one
+// loses events (counted in dmp_serve_sse_dropped_total) instead of
+// stalling the simulators that emit them.
+type hub struct {
+	mu   sync.Mutex
+	subs map[chan telemetry.Event]struct{}
+}
+
+// sseBuffer is per-subscriber: large enough to ride out a flush stall,
+// small enough that an abandoned connection cannot pin much.
+const sseBuffer = 256
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan telemetry.Event]struct{})}
+}
+
+// publish delivers ev to every subscriber without blocking. It is the
+// telemetry feed subscriber (see Feed.Subscribe's "must be fast"
+// contract).
+func (h *hub) publish(ev telemetry.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			mSSEDropped.Inc()
+		}
+	}
+}
+
+func (h *hub) subscribe() chan telemetry.Event {
+	ch := make(chan telemetry.Event, sseBuffer)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	mSSEClients.Add(1)
+	return ch
+}
+
+func (h *hub) unsubscribe(ch chan telemetry.Event) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+	mSSEClients.Add(-1)
+}
+
+// writeSSE frames one server-sent event. json.Marshal never emits
+// newlines, so a single data: line suffices.
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// handleEvents streams the run's lifecycle over SSE: an initial status
+// event, then every process telemetry event while the run executes
+// (the feed is process-global, so overlapping runs see each other's
+// simulation events — the run id discriminates request lifecycle
+// events), and a final done event carrying the completed status.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ru := s.lookup(r.PathValue("id"))
+	if ru == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown run id"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	ch := s.hub.subscribe()
+	defer s.hub.unsubscribe(ch)
+
+	writeSSE(w, "status", ru.snapshot())
+	fl.Flush()
+	for {
+		select {
+		case ev := <-ch:
+			writeSSE(w, "telemetry", ev)
+			fl.Flush()
+		case <-ru.done:
+			// Drain what the feed already queued, then close out.
+			for {
+				select {
+				case ev := <-ch:
+					writeSSE(w, "telemetry", ev)
+				default:
+					writeSSE(w, "done", ru.snapshot())
+					fl.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package store
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkStoreGet measures a warm-store hit from disk: open, read,
+// envelope decode, checksum verify, strict payload decode, digest
+// cross-check. This is the latency a daemon restart pays per result
+// instead of re-simulating.
+func BenchmarkStoreGet(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := s.Put(testMeta("mcf"), testStats())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(d); !ok {
+			b.Fatal("miss on a written entry")
+		}
+	}
+}
+
+// BenchmarkStorePut measures persisting one result: marshal, checksum,
+// temp-file write, atomic rename, index append.
+func BenchmarkStorePut(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := testMeta("mcf")
+	st := testStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.WorkloadHash = strconv.Itoa(i) // distinct key per iteration
+		if _, err := s.Put(m, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,6 +25,12 @@ var Nondeterminism = &Analyzer{
 		"dmp/internal/emu",
 		"dmp/internal/exp",
 		"dmp/internal/sample",
+		// The scheduler's cache keys and the persistent store's digests
+		// must be reproducible across processes: a wall-clock or
+		// map-order dependency there poisons stored results, not just one
+		// run's output.
+		"dmp/internal/sched",
+		"dmp/internal/store",
 	},
 	Run: runNondeterminism,
 }
